@@ -1,0 +1,102 @@
+"""Micro-benchmarks of the core data structures and kernels.
+
+Not a paper artifact — the throughput baseline a performance regression
+would show up against: Morton indexing, the boundary merge, the rule
+engine, the executor's event rate, and the unit-disk graph construction.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.apps import label_regions_quadtree, random_feature_matrix
+from repro.apps.boundary import MergeAccumulator, cell_summary
+from repro.core import (
+    CountAggregation,
+    HierarchicalGroups,
+    OrientedGrid,
+    execute_round,
+    morton_decode,
+    morton_encode,
+    synthesize_quadtree_program,
+)
+from repro.core.program import Message
+from repro.deployment import CellGrid, Terrain, build_network, uniform_random
+
+
+def test_morton_encode_throughput(benchmark):
+    coords = [(x, y) for x in range(64) for y in range(64)]
+
+    def run():
+        return [morton_encode(c) for c in coords]
+
+    out = benchmark(run)
+    assert len(out) == 4096
+
+
+def test_morton_roundtrip_throughput(benchmark):
+    indices = list(range(4096))
+    out = benchmark(lambda: [morton_decode(i) for i in indices])
+    assert out[5] == (3, 0)
+
+
+def test_boundary_merge_kernel(benchmark):
+    """One 2x2 quadrant merge — the inner loop of the whole case study."""
+    children = [cell_summary((x, y), (x + y) % 2 == 0) for x in (0, 1) for y in (0, 1)]
+
+    def run():
+        acc = MergeAccumulator((0, 0, 2, 2))
+        for c in children:
+            acc.add(c)
+        return acc.finalize()
+
+    summary = benchmark(run)
+    assert summary.total_regions() == 2
+
+
+@pytest.mark.parametrize("side", [16, 32, 64])
+def test_recursive_labeling_scales(benchmark, side):
+    feat = random_feature_matrix(side, 0.4, rng=1)
+    summary = benchmark(label_regions_quadtree, feat)
+    assert summary.total_regions() > 0
+
+
+def test_rule_engine_delivery_rate(benchmark):
+    groups = HierarchicalGroups(OrientedGrid(4))
+    spec = synthesize_quadtree_program(groups, CountAggregation(lambda c: True))
+
+    def run():
+        prog = spec.program_for((0, 0))
+        prog.start()
+        for s in ((1, 0), (0, 1), (1, 1)):
+            prog.deliver(Message("mGraph", s, payload=1, level=1))
+        return prog
+
+    prog = benchmark(run)
+    assert prog.state["recLevel"] == 2
+
+
+def test_executor_event_rate(benchmark):
+    groups = HierarchicalGroups(OrientedGrid(32))
+    agg = CountAggregation(lambda c: True)
+
+    def run():
+        return execute_round(
+            synthesize_quadtree_program(groups, agg), charge_compute=False
+        )
+
+    result = benchmark(run)
+    assert result.root_payload == 1024
+
+
+def test_unit_disk_graph_construction(benchmark):
+    terrain = Terrain(100.0)
+    cells = CellGrid(terrain, 8)
+    positions = uniform_random(1000, terrain, rng=3)
+
+    def run():
+        return build_network(positions, cells, tx_range=8.0)
+
+    net = benchmark(run)
+    assert len(net) == 1000

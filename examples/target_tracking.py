@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Event-driven target tracking with probabilistic activation analysis.
+
+Section 4.1 notes that the static task-graph model fits periodic sampling,
+and sketches the extension for event-driven applications like target
+tracking: *"only the sensor nodes in the vicinity of the target (event)
+perform the sampling"*, with activation expressed probabilistically for
+design-time analysis.
+
+This example runs several tracking rounds: targets move across the
+terrain, only PoCs within the detection vicinity activate, and the
+synthesized reduction (unchanged!) counts and delineates the activated
+area at a fraction of the all-active cost.  The measured per-round energy
+is compared against the closed-form expectation.
+
+Run:  python examples/target_tracking.py
+"""
+
+import numpy as np
+
+from repro.core import (
+    CountAggregation,
+    EventDrivenAggregation,
+    VirtualArchitecture,
+    expected_quadtree_cost,
+    simulate_event_activations,
+)
+from repro.apps import render_feature_map
+
+SIDE = 16
+ROUNDS = 6
+VICINITY = 2.0  # detection radius in grid cells
+
+
+def main() -> None:
+    va = VirtualArchitecture(SIDE)
+    rng = np.random.default_rng(7)
+
+    # design-time: expected cost as a function of activation probability
+    print("expected per-round energy vs activation probability (16x16):")
+    for p in (0.01, 0.05, 0.15, 0.5, 1.0):
+        exp = expected_quadtree_cost(SIDE, p)
+        print(f"  p={p:<5} expected energy {exp.expected_energy:8.1f}  "
+              f"messages {exp.expected_messages:6.1f}")
+    all_active = expected_quadtree_cost(SIDE, 1.0).expected_energy
+    print(f"(always-on cost: {all_active:.0f})\n")
+
+    # runtime: two targets wander, vicinities activate
+    total_energy = 0.0
+    for round_no in range(1, ROUNDS + 1):
+        active = simulate_event_activations(
+            SIDE, n_events=2, vicinity_radius=VICINITY, rng=rng
+        )
+        agg = EventDrivenAggregation(
+            CountAggregation(lambda c: True), active=lambda c: c in active
+        )
+        result = va.execute(agg, charge_compute=False)
+        total_energy += result.ledger.total
+        detected = result.root_payload or 0
+        print(
+            f"round {round_no}: {len(active):3d} PoCs in vicinity, "
+            f"in-network count {detected:3d}, energy {result.ledger.total:6.1f}"
+        )
+        if round_no == ROUNDS:
+            feat = np.zeros((SIDE, SIDE), dtype=bool)
+            for (x, y) in active:
+                feat[y, x] = True
+            print("\nfinal round's activation map:")
+            print(render_feature_map(feat))
+
+    mean = total_energy / ROUNDS
+    p_effective = np.mean(
+        [len(simulate_event_activations(SIDE, 2, VICINITY, rng=s)) / SIDE**2
+         for s in range(20)]
+    )
+    exp = expected_quadtree_cost(SIDE, float(p_effective))
+    print(
+        f"\nmean measured energy/round: {mean:.1f}  "
+        f"(expectation at p≈{p_effective:.3f}: {exp.expected_energy:.1f}; "
+        f"always-on: {all_active:.0f} — "
+        f"{all_active / max(mean, 1e-9):.1f}x saved by event-driven operation)"
+    )
+    print(
+        "note: vicinity activations cluster spatially, so whole quadrants "
+        "stay silent\nand the measured cost beats the independent-Bernoulli "
+        "expectation at the same p."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,82 @@
+"""repro — reproduction of *Algorithm Design and Synthesis for Wireless
+Sensor Networks* (Bakshi & Prasanna, ICPP 2004).
+
+The library implements the paper's full methodology stack:
+
+* :mod:`repro.core` — the **virtual architecture** (oriented-grid network
+  model, hierarchical group middleware, programming primitives, uniform
+  cost model), the task-graph application model, constraint-checked
+  mapping, program synthesis to reactive rule programs (Figure 4), a
+  design-time executor, and closed-form performance analysis.
+* :mod:`repro.deployment` — the physical substrate: terrain and cells,
+  deployment generators, sensor nodes with batteries, the unit-disk real
+  network graph.
+* :mod:`repro.simulator` — a deterministic discrete-event engine with a
+  wireless medium (broadcast, loss, jitter) and reactive node processes.
+* :mod:`repro.runtime` — the Section 5 protocols (cell-based topology
+  emulation, closest-to-centre process binding), grid transport, and the
+  deployed full stack executing the same synthesized programs physically.
+* :mod:`repro.apps` — the case study: homogeneous-region identification
+  and labeling for topographic querying, synthetic phenomenon fields, the
+  centralized baseline, and distributed-storage queries.
+
+Quickstart::
+
+    from repro import VirtualArchitecture, TopographicQueryApp
+    from repro.apps import GaussianBlobField
+
+    va = VirtualArchitecture(side=16)
+    app = TopographicQueryApp(va, GaussianBlobField([(0.3, 0.3, 0.1, 1.0)]), 0.5)
+    report = app.run_virtual()
+    print(report.regions, report.performance.latency)
+"""
+
+from .core import (
+    Aggregation,
+    CountAggregation,
+    EnergyLedger,
+    HierarchicalGroups,
+    MaxAggregation,
+    OrientedGrid,
+    SumAggregation,
+    SynthesizedProgram,
+    UniformCostModel,
+    VirtualArchitecture,
+    build_quadtree,
+    execute_round,
+    recursive_quadrant_mapping,
+    synthesize_quadtree_program,
+)
+from .apps import RegionAggregation, RegionSummary, TopographicQueryApp
+from .deployment import CellGrid, RealNetwork, SensorNode, Terrain, build_network
+from .runtime import DeployedStack, deploy
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Aggregation",
+    "CellGrid",
+    "CountAggregation",
+    "DeployedStack",
+    "EnergyLedger",
+    "HierarchicalGroups",
+    "MaxAggregation",
+    "OrientedGrid",
+    "RealNetwork",
+    "RegionAggregation",
+    "RegionSummary",
+    "SensorNode",
+    "SumAggregation",
+    "SynthesizedProgram",
+    "Terrain",
+    "TopographicQueryApp",
+    "UniformCostModel",
+    "VirtualArchitecture",
+    "__version__",
+    "build_network",
+    "build_quadtree",
+    "deploy",
+    "execute_round",
+    "recursive_quadrant_mapping",
+    "synthesize_quadtree_program",
+]

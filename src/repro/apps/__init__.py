@@ -1,0 +1,127 @@
+"""The case-study application layer (Sections 3–4).
+
+Topographic querying via identification and labeling of homogeneous
+regions: synthetic phenomenon fields, boundary summaries and their
+divide-and-conquer merge, the region aggregation plugged into the
+synthesized quad-tree program, the centralized baseline, distributed-
+storage queries, and the reference oracles everything is tested against.
+"""
+
+from .boundary import (
+    Extent,
+    MergeAccumulator,
+    RegionSummary,
+    cell_summary,
+    empty_summary,
+)
+from .centralized import CentralizedResult, compare_designs, run_centralized
+from .floodfill import FloodFillResult, compare_three_designs, run_floodfill
+from .fields import (
+    CompositeField,
+    GaussianBlobField,
+    GradientField,
+    NoisyField,
+    PlateauField,
+    ScalarField,
+    StripeField,
+    UniformField,
+    feature_function,
+    random_feature_matrix,
+    sample_grid,
+    threshold_features,
+)
+from .quadtree_app import RegionReport, TopographicQueryApp
+from .queries import (
+    DistributedStorage,
+    QueryResult,
+    count_regions_exact,
+    count_regions_fast,
+    enumerate_region_areas,
+    feature_area_total,
+    largest_region,
+)
+from .reference import (
+    boundary_cell_count,
+    count_regions,
+    label_components,
+    region_areas,
+)
+from .regions import (
+    RegionAggregation,
+    feature_matrix_aggregation,
+    label_regions_quadtree,
+    summary_statistics,
+)
+from .viz import (
+    render_band_map,
+    render_deployment,
+    render_energy_map,
+    render_feature_map,
+    render_group_blocks,
+    render_label_map,
+)
+from .statistics import (
+    BandedLabeling,
+    HistogramAggregation,
+    TopKAggregation,
+    banded_labeling,
+    quantile_from_histogram,
+    query_reading_range,
+    rank_of_value,
+)
+
+__all__ = [
+    "BandedLabeling",
+    "CentralizedResult",
+    "CompositeField",
+    "DistributedStorage",
+    "Extent",
+    "FloodFillResult",
+    "GaussianBlobField",
+    "GradientField",
+    "HistogramAggregation",
+    "MergeAccumulator",
+    "NoisyField",
+    "PlateauField",
+    "QueryResult",
+    "RegionAggregation",
+    "RegionReport",
+    "RegionSummary",
+    "ScalarField",
+    "StripeField",
+    "TopKAggregation",
+    "TopographicQueryApp",
+    "UniformField",
+    "banded_labeling",
+    "boundary_cell_count",
+    "cell_summary",
+    "compare_designs",
+    "compare_three_designs",
+    "count_regions",
+    "count_regions_exact",
+    "count_regions_fast",
+    "empty_summary",
+    "enumerate_region_areas",
+    "feature_area_total",
+    "feature_function",
+    "feature_matrix_aggregation",
+    "label_components",
+    "label_regions_quadtree",
+    "largest_region",
+    "quantile_from_histogram",
+    "query_reading_range",
+    "random_feature_matrix",
+    "rank_of_value",
+    "region_areas",
+    "render_band_map",
+    "render_deployment",
+    "render_energy_map",
+    "render_feature_map",
+    "render_group_blocks",
+    "render_label_map",
+    "run_centralized",
+    "run_floodfill",
+    "sample_grid",
+    "summary_statistics",
+    "threshold_features",
+]

@@ -1,0 +1,96 @@
+"""Reference (centralized, oracle) algorithms for the case study.
+
+These are the ground-truth computations every distributed result is tested
+against: plain 4-connected component labeling of the binary feature matrix
+and the derived region statistics.  Implemented with no dependency on the
+rest of the stack so the oracle cannot share bugs with the system under
+test.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+
+def label_components(feature: np.ndarray) -> Tuple[np.ndarray, int]:
+    """4-connected component labeling of a boolean matrix.
+
+    Parameters
+    ----------
+    feature:
+        2-D boolean array indexed ``[y, x]`` (row-major, matching the
+        grid's north-west origin).
+
+    Returns
+    -------
+    labels:
+        Integer array of the same shape; 0 = background, components are
+        numbered 1..count in scan order of their first cell.
+    count:
+        Number of components.
+    """
+    feat = np.asarray(feature, dtype=bool)
+    if feat.ndim != 2:
+        raise ValueError(f"feature matrix must be 2-D, got shape {feat.shape}")
+    h, w = feat.shape
+    labels = np.zeros((h, w), dtype=np.int64)
+    count = 0
+    for y in range(h):
+        for x in range(w):
+            if not feat[y, x] or labels[y, x]:
+                continue
+            count += 1
+            stack = [(x, y)]
+            labels[y, x] = count
+            while stack:
+                cx, cy = stack.pop()
+                for nx, ny in ((cx + 1, cy), (cx - 1, cy), (cx, cy + 1), (cx, cy - 1)):
+                    if 0 <= nx < w and 0 <= ny < h and feat[ny, nx] and not labels[ny, nx]:
+                        labels[ny, nx] = count
+                        stack.append((nx, ny))
+    return labels, count
+
+
+def count_regions(feature: np.ndarray) -> int:
+    """Number of 4-connected feature regions."""
+    return label_components(feature)[1]
+
+
+def region_areas(feature: np.ndarray) -> List[int]:
+    """Sorted areas (cell counts) of all feature regions."""
+    labels, count = label_components(feature)
+    if count == 0:
+        return []
+    areas = np.bincount(labels.ravel(), minlength=count + 1)[1:]
+    return sorted(int(a) for a in areas)
+
+
+def feature_fraction(feature: np.ndarray) -> float:
+    """Fraction of cells that are feature cells."""
+    feat = np.asarray(feature, dtype=bool)
+    return float(feat.mean()) if feat.size else 0.0
+
+
+def boundary_cell_count(feature: np.ndarray) -> int:
+    """Number of feature cells adjacent to a non-feature cell or the grid
+    edge — the quantity the boundary summaries compress toward."""
+    feat = np.asarray(feature, dtype=bool)
+    h, w = feat.shape
+    count = 0
+    for y in range(h):
+        for x in range(w):
+            if not feat[y, x]:
+                continue
+            on_boundary = x in (0, w - 1) or y in (0, h - 1)
+            if not on_boundary:
+                on_boundary = not (
+                    feat[y, x - 1]
+                    and feat[y, x + 1]
+                    and feat[y - 1, x]
+                    and feat[y + 1, x]
+                )
+            if on_boundary:
+                count += 1
+    return count

@@ -1,0 +1,255 @@
+"""First-order analytical performance estimation (Sections 2 and 4.2).
+
+A key promise of the virtual architecture is *"rapid first-order
+performance estimation of algorithms"* from the topology and cost model
+alone, before any simulation or deployment.  The design-flow example in
+Section 2: *"the end user could decide if a divide and conquer approach is
+better than a centralized approach if, say, total latency of one round of
+the application is to be minimized."*
+
+This module provides closed-form estimates for the two competing designs of
+that example on a ``side x side`` oriented grid under the uniform cost
+model:
+
+* :func:`estimate_quadtree` — the divide-and-conquer quad-tree reduction
+  of the case study (Section 4.1), whose step count is
+  ``O(sqrt(N))``: each level *k* moves summaries at most ``2**k`` hops, and
+  the sum over levels telescopes to ``2*(side - 1)`` hop-steps.
+* :func:`estimate_centralized` — every node forwards its raw reading to a
+  sink via shortest-path routing.
+
+Both return an :class:`Estimate` whose numbers are *exact* for the
+executor of ``repro.core.executor`` under unit-size messages and free
+computation — a property the test suite asserts, closing the paper's loop
+between "theoretical performance analysis" and "real performance
+measurements".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional
+
+from .coords import GridCoord, ilog2, is_power_of_two
+from .cost_model import CostModel, UniformCostModel
+from .network_model import OrientedGrid
+
+
+@dataclass(frozen=True)
+class Estimate:
+    """A closed-form performance estimate for one round of an algorithm.
+
+    Attributes
+    ----------
+    latency_steps:
+        Critical-path latency in hop-steps (unit messages, free compute) —
+        the paper's "step" measure.
+    total_energy:
+        Network-wide energy (tx + rx at every hop) for unit messages.
+    max_node_energy:
+        Energy at the most-loaded node.
+    messages:
+        Logical messages sent (not counting per-hop relays).
+    hop_units:
+        Sum over messages of ``size * hops``.
+    """
+
+    latency_steps: float
+    total_energy: float
+    max_node_energy: float
+    messages: int
+    hop_units: float
+
+
+def estimate_quadtree(
+    side: int,
+    cost_model: Optional[CostModel] = None,
+    units_at_level: Optional[Callable[[int], float]] = None,
+) -> Estimate:
+    """Closed-form estimate for the quad-tree reduction on a square grid.
+
+    Parameters
+    ----------
+    side:
+        Grid side (power of two); ``N = side**2``.
+    cost_model:
+        Defaults to the uniform model.
+    units_at_level:
+        Message size (data units) of a level-*k* summary, ``k >= 1``;
+        defaults to 1 (the paper's step analysis).  Pass the boundary-size
+        profile to study data-dependent behaviour.
+
+    Derivation (NW-leader mapping, Figure 3): at level *k* the grid holds
+    ``4**(m-k)`` groups (``m = log2(side)``).  In each group the three
+    external child leaders sit at hop distances ``h, h, 2h`` from the
+    parent leader with ``h = 2**(k-1)``, so a group contributes ``4h``
+    hop-units of traffic and its slowest message takes ``2h`` hop-steps.
+    Levels execute in sequence along the critical path, so
+
+    * ``latency = sum_k 2**k * s_k``  (``= 2*(side-1)`` for unit sizes),
+    * ``hop_units = sum_k 4**(m-k) * 2**(k+1) * s_k``,
+    * ``total_energy = 2 * hop_units`` (tx + rx per hop).
+    """
+    if not is_power_of_two(side):
+        raise ValueError(f"side must be a power of two, got {side}")
+    cm = cost_model or UniformCostModel()
+    sizes = units_at_level or (lambda level: 1.0)
+    m = ilog2(side)
+
+    latency = 0.0
+    hop_units = 0.0
+    messages = 0
+    for k in range(1, m + 1):
+        s = sizes(k)
+        h = 2 ** (k - 1)
+        groups = 4 ** (m - k)
+        latency += cm.tx_latency(s) * 2 * h
+        hop_units += groups * 4 * h * s
+        messages += groups * 3
+
+    total_energy = cm.tx_energy(1.0) * hop_units + cm.rx_energy(1.0) * hop_units
+
+    # Hot spot.  Two candidates under XY (x-first) routing:
+    #
+    # * the root (0,0): leads every level, receives the 3 external child
+    #   summaries of each — load 3 * sum_k rx(s_k);
+    # * the relay (0,1): transmits its own level-1 summary, relays its
+    #   block's diagonal level-1 message, and relays the southern and
+    #   diagonal child messages of every level k >= 2 (both route north
+    #   along column x=0 through it) — load
+    #   tx(s_1) + hop(s_1) + sum_{k>=2} 2*hop(s_k)
+    #   (= 4*m - 1 for unit sizes, which beats the root's 3*m for m >= 1).
+    root_load = sum(cm.rx_energy(sizes(k)) * 3 for k in range(1, m + 1))
+    relay_load = 0.0
+    if m >= 1:
+        relay_load = cm.tx_energy(sizes(1)) + cm.hop_energy(sizes(1))
+        relay_load += sum(2 * cm.hop_energy(sizes(k)) for k in range(2, m + 1))
+    max_node = max(root_load, relay_load)
+    return Estimate(
+        latency_steps=latency,
+        total_energy=total_energy,
+        max_node_energy=max_node,
+        messages=messages,
+        hop_units=hop_units,
+    )
+
+
+def estimate_centralized(
+    side: int,
+    cost_model: Optional[CostModel] = None,
+    sink: GridCoord = (0, 0),
+    units_per_node: float = 1.0,
+    serial_sink: bool = True,
+) -> Estimate:
+    """Closed-form estimate for the centralized-collection baseline.
+
+    Every node of a ``side x side`` grid sends ``units_per_node`` of raw
+    data to ``sink`` along XY shortest-path routes.
+
+    * ``hop_units = s * sum_over_nodes manhattan(node, sink)``; for the
+      corner sink this is ``s * side**2 * (side - 1)`` — ``O(N**1.5)``.
+    * ``total_energy = 2 * hop_units``.
+    * Latency: the sink's radio serializes its receptions, so with
+      ``serial_sink`` (the physically honest setting) the round takes at
+      least ``(N - 1) * rx_time`` plus the longest route; without it the
+      estimate is the idealized congestion-free maximum distance.
+    * Hot spot: under x-first XY routing every message from a row
+      ``y >= 1`` funnels through the corner sink's southern neighbour
+      ``(0, 1)``, which relays ``side*(side-1) - 1`` messages (tx + rx
+      each) plus its own transmission — the funnel that motivates
+      in-network processing.
+    """
+    cm = cost_model or UniformCostModel()
+    grid = OrientedGrid(side)
+    grid.validate_member(sink)
+    s = units_per_node
+
+    total_hops = sum(
+        grid.hop_distance(node, sink) for node in grid.nodes()
+    )
+    hop_units = s * total_hops
+    total_energy = cm.tx_energy(1.0) * hop_units + cm.rx_energy(1.0) * hop_units
+    n_senders = grid.num_nodes - 1
+    max_distance = max(grid.hop_distance(node, sink) for node in grid.nodes())
+    if serial_sink:
+        latency = cm.tx_latency(s) * max(
+            n_senders,  # sink receives one message per time slot
+            max_distance,
+        )
+    else:
+        latency = cm.tx_latency(s) * max_distance
+    sink_energy = cm.rx_energy(s) * n_senders
+    if sink == (0, 0) and side > 1:
+        relayed = side * (side - 1) - 1  # messages funnelling through (0, 1)
+        relay_energy = relayed * cm.hop_energy(s) + cm.tx_energy(s)
+    else:
+        relay_energy = 0.0  # closed form derived for the corner sink only
+    max_node = max(sink_energy, relay_energy)
+    return Estimate(
+        latency_steps=latency,
+        total_energy=total_energy,
+        max_node_energy=max_node,
+        messages=n_senders,
+        hop_units=hop_units,
+    )
+
+
+def quadtree_step_count(side: int) -> int:
+    """The paper's headline: total hop-steps of the quad-tree reduction.
+
+    ``sum_{k=1}^{m} 2**k = 2*(side - 1)`` — ``O(sqrt(N))`` for
+    ``N = side**2`` grid nodes (Section 4.1's ``O(sqrt(n))`` claim).
+    """
+    if not is_power_of_two(side):
+        raise ValueError(f"side must be a power of two, got {side}")
+    return 2 * (side - 1)
+
+
+def crossover_side(
+    cost_model: Optional[CostModel] = None,
+    max_exponent: int = 12,
+) -> Optional[int]:
+    """Smallest power-of-two side where the quad-tree beats the
+    centralized design on *latency* (it always wins on energy for
+    ``side >= 2``).  Returns None if no crossover below ``2**max_exponent``.
+
+    This regenerates the "where does the crossover fall" row of the
+    Section 2 design-flow comparison.
+    """
+    for e in range(1, max_exponent + 1):
+        side = 2**e
+        q = estimate_quadtree(side, cost_model)
+        c = estimate_centralized(side, cost_model)
+        if q.latency_steps < c.latency_steps:
+            return side
+    return None
+
+
+def group_communication_cost_table(
+    side: int, cost_model: Optional[CostModel] = None
+) -> Dict[int, Dict[str, float]]:
+    """Per-level member-to-leader cost profile (Section 4.2's middleware
+    contract: cost proportional to hop distance).
+
+    Returns ``level -> {"max_hops", "mean_hops", "total_hops"}`` over all
+    followers of all groups at that level, under the NW-leader policy.
+    """
+    if not is_power_of_two(side):
+        raise ValueError(f"side must be a power of two, got {side}")
+    from .groups import HierarchicalGroups  # deferred to avoid import cycle
+
+    grid = OrientedGrid(side)
+    groups = HierarchicalGroups(grid)
+    table: Dict[int, Dict[str, float]] = {}
+    for level in range(1, groups.max_level + 1):
+        hops = []
+        for leader in groups.leaders_at(level):
+            for member in groups.members(leader, level):
+                if member != leader:
+                    hops.append(grid.hop_distance(member, leader))
+        table[level] = {
+            "max_hops": float(max(hops)),
+            "mean_hops": sum(hops) / len(hops),
+            "total_hops": float(sum(hops)),
+        }
+    return table

@@ -1,0 +1,196 @@
+"""Execution of synthesized programs on the virtual architecture.
+
+The paper's design flow evaluates an algorithm *on the virtual
+architecture* before any deployment exists: the virtual topology plus the
+cost functions are enough to run the synthesized program and measure
+latency, energy, and message counts (Section 2's "rapid first-order
+performance estimation", made exact by actually executing the rules).
+
+:class:`VirtualGridExecutor` is a lightweight event-driven driver: every
+grid node owns a :class:`~repro.core.program.NodeProgram`; SEND effects are
+realized as messages relayed along shortest (XY) grid routes with
+store-and-forward latency and per-hop tx/rx energy taken from the cost
+model, exactly as Section 4.2 prescribes for member-to-leader traffic.
+
+The heavier physical-network path (virtual processes bound to elected
+physical nodes, messages multi-hopped through the emulated grid) lives in
+``repro.runtime.stack``; both drivers execute the *same* synthesized
+program objects — the core promise of the virtual-architecture abstraction.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from .coords import GridCoord
+from .cost_model import CostModel, EnergyLedger, PerformanceReport, UniformCostModel
+from .program import EXFILTRATE, LOG, SEND, Effect, Message, NodeProgram
+from .synthesis import SynthesizedProgram
+
+
+@dataclass
+class ExecutionResult:
+    """Outcome of one round executed on the virtual grid.
+
+    Attributes
+    ----------
+    exfiltrated:
+        ``coord -> payload`` for every node that exfiltrated a result
+        (one entry — the root — for a full reduction; one per storage
+        leader for partial reductions).
+    ledger:
+        Per-virtual-node energy consumption.
+    latency:
+        Completion time of the last exfiltration (or of the last event if
+        nothing exfiltrated).
+    messages:
+        Number of logical messages sent (hop count is reflected in energy
+        and latency, not here).
+    data_units:
+        Sum of message sizes.
+    hop_units:
+        Sum over messages of ``size * hops`` — the paper's
+        communication-cost measure.
+    events:
+        Number of stimuli processed.
+    """
+
+    exfiltrated: Dict[GridCoord, Any]
+    ledger: EnergyLedger
+    latency: float
+    messages: int
+    data_units: float
+    hop_units: float
+    events: int
+
+    def report(self) -> PerformanceReport:
+        """Standard metric bundle for benchmark rows."""
+        return PerformanceReport.from_ledger(
+            self.ledger,
+            latency=self.latency,
+            messages=self.messages,
+            data_units=self.data_units,
+        )
+
+    @property
+    def root_payload(self) -> Any:
+        """The single exfiltrated payload (raises unless exactly one)."""
+        if len(self.exfiltrated) != 1:
+            raise ValueError(
+                f"expected exactly one exfiltration, got {len(self.exfiltrated)}"
+            )
+        return next(iter(self.exfiltrated.values()))
+
+
+class VirtualGridExecutor:
+    """Event-driven executor of a :class:`SynthesizedProgram` on its grid.
+
+    Parameters
+    ----------
+    spec:
+        The synthesized program (grid, middleware, aggregation).
+    cost_model:
+        Cost functions; defaults to the paper's uniform model.
+    charge_compute:
+        If False, computation is free (pure communication analysis —
+        the configuration matching the paper's "step" counting).
+    """
+
+    def __init__(
+        self,
+        spec: SynthesizedProgram,
+        cost_model: Optional[CostModel] = None,
+        charge_compute: bool = True,
+    ):
+        self.spec = spec
+        self.cost_model = cost_model or UniformCostModel()
+        self.charge_compute = charge_compute
+        self.grid = spec.groups.grid
+
+    def run(self) -> ExecutionResult:
+        """Execute one full round: start every node at t=0, drain events."""
+        cm = self.cost_model
+        grid = self.grid
+        ledger = EnergyLedger()
+        programs: Dict[GridCoord, NodeProgram] = {}
+        node_ready: Dict[GridCoord, float] = {}
+        exfiltrated: Dict[GridCoord, Any] = {}
+        final_time = 0.0
+        messages = 0
+        data_units = 0.0
+        hop_units = 0.0
+        events = 0
+
+        # (time, seq, coord, message-or-None); seq breaks ties deterministically.
+        queue: List[Tuple[float, int, GridCoord, Optional[Message]]] = []
+        seq = 0
+        for coord in grid.nodes():
+            programs[coord] = self.spec.program_for(coord)
+            node_ready[coord] = 0.0
+            heapq.heappush(queue, (0.0, seq, coord, None))
+            seq += 1
+
+        while queue:
+            time, _, coord, msg = heapq.heappop(queue)
+            events += 1
+            begin = max(time, node_ready[coord])
+            program = programs[coord]
+            effects = program.start() if msg is None else program.deliver(msg)
+
+            ops = sum(e.operations for e in effects)
+            if self.charge_compute and ops:
+                ledger.charge(coord, cm.compute_energy(ops), "compute")
+            finish = begin + (cm.compute_latency(ops) if self.charge_compute else 0.0)
+            node_ready[coord] = finish
+            final_time = max(final_time, finish)
+
+            for effect in effects:
+                if effect.kind == SEND:
+                    assert effect.destination is not None and effect.message is not None
+                    dest = effect.destination
+                    size = effect.message.size_units
+                    path = grid.route(coord, dest)
+                    hops = len(path) - 1
+                    for a, b in zip(path, path[1:]):
+                        ledger.charge(a, cm.tx_energy(size), "tx")
+                        ledger.charge(b, cm.rx_energy(size), "rx")
+                    arrival = finish + cm.path_latency(size, hops)
+                    heapq.heappush(queue, (arrival, seq, dest, effect.message))
+                    seq += 1
+                    messages += 1
+                    data_units += size
+                    hop_units += size * hops
+                elif effect.kind == EXFILTRATE:
+                    exfiltrated[coord] = effect.payload
+                    final_time = max(final_time, finish)
+
+        latency = (
+            max(
+                (node_ready[c] for c in exfiltrated),
+                default=final_time,
+            )
+            if exfiltrated
+            else final_time
+        )
+        return ExecutionResult(
+            exfiltrated=exfiltrated,
+            ledger=ledger,
+            latency=latency,
+            messages=messages,
+            data_units=data_units,
+            hop_units=hop_units,
+            events=events,
+        )
+
+
+def execute_round(
+    spec: SynthesizedProgram,
+    cost_model: Optional[CostModel] = None,
+    charge_compute: bool = True,
+) -> ExecutionResult:
+    """Convenience wrapper: build an executor and run one round."""
+    return VirtualGridExecutor(
+        spec, cost_model=cost_model, charge_compute=charge_compute
+    ).run()

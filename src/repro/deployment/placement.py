@@ -1,0 +1,238 @@
+"""Deployment generators: where the physical nodes land on the terrain.
+
+The paper targets *"large-scale, homogeneous, dense, arbitrarily deployed
+sensor networks"*; the topology-emulation protocol only assumes at least
+one node per cell with a connected intra-cell subgraph.  These generators
+produce the deployment patterns used across the benchmark suite:
+
+* :func:`uniform_random` — the canonical arbitrary dense deployment.
+* :func:`perturbed_grid` — nodes intended for a lattice but scattered by
+  placement error (aerial deployment).
+* :func:`poisson_disk` — blue-noise spacing (minimum separation), the
+  "engineered" dense deployment.
+* :func:`clustered` — nodes dropped in batches (non-uniform), the case the
+  paper says may call for a tree virtual topology instead.
+* :func:`one_per_cell` / :func:`ensure_coverage` — enforce the coverage
+  precondition of Section 5.1.
+
+All generators take a seeded :class:`numpy.random.Generator` so every
+experiment is reproducible.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .terrain import CellGrid, Point, Terrain
+
+
+def _rng(seed_or_rng) -> np.random.Generator:
+    if isinstance(seed_or_rng, np.random.Generator):
+        return seed_or_rng
+    return np.random.default_rng(seed_or_rng)
+
+
+def uniform_random(
+    n: int, terrain: Terrain, rng: "np.random.Generator | int | None" = None
+) -> List[Point]:
+    """``n`` positions i.i.d. uniform over the terrain."""
+    if n < 0:
+        raise ValueError(f"n must be non-negative, got {n}")
+    r = _rng(rng)
+    pts = r.uniform(0.0, terrain.side, size=(n, 2))
+    return [(float(x), float(y)) for x, y in pts]
+
+
+def perturbed_grid(
+    nodes_per_side: int,
+    terrain: Terrain,
+    jitter_fraction: float = 0.25,
+    rng: "np.random.Generator | int | None" = None,
+) -> List[Point]:
+    """A ``nodes_per_side**2`` lattice with Gaussian placement error.
+
+    ``jitter_fraction`` scales the error's standard deviation relative to
+    the lattice pitch; positions are clamped to the terrain.
+    """
+    if nodes_per_side <= 0:
+        raise ValueError("nodes_per_side must be positive")
+    if jitter_fraction < 0:
+        raise ValueError("jitter_fraction must be non-negative")
+    r = _rng(rng)
+    pitch = terrain.side / nodes_per_side
+    out: List[Point] = []
+    for j in range(nodes_per_side):
+        for i in range(nodes_per_side):
+            x = (i + 0.5) * pitch + r.normal(0.0, jitter_fraction * pitch)
+            y = (j + 0.5) * pitch + r.normal(0.0, jitter_fraction * pitch)
+            out.append(
+                (
+                    float(min(max(x, 0.0), terrain.side)),
+                    float(min(max(y, 0.0), terrain.side)),
+                )
+            )
+    return out
+
+
+def poisson_disk(
+    terrain: Terrain,
+    min_separation: float,
+    rng: "np.random.Generator | int | None" = None,
+    max_attempts: int = 30,
+) -> List[Point]:
+    """Blue-noise deployment via Bridson's dart-throwing algorithm.
+
+    Produces a maximal set of points pairwise at least ``min_separation``
+    apart — a dense but regular deployment.
+    """
+    if min_separation <= 0:
+        raise ValueError("min_separation must be positive")
+    r = _rng(rng)
+    cell = min_separation / math.sqrt(2.0)
+    gw = int(math.ceil(terrain.side / cell))
+    grid: List[Optional[int]] = [None] * (gw * gw)
+    points: List[Point] = []
+    active: List[int] = []
+
+    def grid_index(p: Point) -> int:
+        gx = min(int(p[0] / cell), gw - 1)
+        gy = min(int(p[1] / cell), gw - 1)
+        return gy * gw + gx
+
+    def fits(p: Point) -> bool:
+        gx = min(int(p[0] / cell), gw - 1)
+        gy = min(int(p[1] / cell), gw - 1)
+        for yy in range(max(0, gy - 2), min(gw, gy + 3)):
+            for xx in range(max(0, gx - 2), min(gw, gx + 3)):
+                idx = grid[yy * gw + xx]
+                if idx is not None:
+                    q = points[idx]
+                    if math.hypot(p[0] - q[0], p[1] - q[1]) < min_separation:
+                        return False
+        return True
+
+    first = (float(r.uniform(0, terrain.side)), float(r.uniform(0, terrain.side)))
+    points.append(first)
+    grid[grid_index(first)] = 0
+    active.append(0)
+
+    while active:
+        pick = int(r.integers(len(active)))
+        base = points[active[pick]]
+        placed = False
+        for _ in range(max_attempts):
+            rad = min_separation * (1.0 + float(r.uniform(0.0, 1.0)))
+            ang = float(r.uniform(0.0, 2.0 * math.pi))
+            cand = (base[0] + rad * math.cos(ang), base[1] + rad * math.sin(ang))
+            if not terrain.contains(cand):
+                continue
+            if fits(cand):
+                points.append(cand)
+                grid[grid_index(cand)] = len(points) - 1
+                active.append(len(points) - 1)
+                placed = True
+                break
+        if not placed:
+            active.pop(pick)
+    return points
+
+
+def clustered(
+    n_clusters: int,
+    nodes_per_cluster: int,
+    terrain: Terrain,
+    cluster_spread: float,
+    rng: "np.random.Generator | int | None" = None,
+) -> List[Point]:
+    """Nodes dropped in Gaussian batches around random cluster centres —
+    the non-uniform deployment that motivates tree virtual topologies."""
+    if n_clusters <= 0 or nodes_per_cluster <= 0:
+        raise ValueError("cluster counts must be positive")
+    if cluster_spread <= 0:
+        raise ValueError("cluster_spread must be positive")
+    r = _rng(rng)
+    out: List[Point] = []
+    for _ in range(n_clusters):
+        cx = float(r.uniform(0, terrain.side))
+        cy = float(r.uniform(0, terrain.side))
+        for _ in range(nodes_per_cluster):
+            x = min(max(cx + float(r.normal(0, cluster_spread)), 0.0), terrain.side)
+            y = min(max(cy + float(r.normal(0, cluster_spread)), 0.0), terrain.side)
+            out.append((x, y))
+    return out
+
+
+def one_per_cell(
+    cells: CellGrid, rng: "np.random.Generator | int | None" = None
+) -> List[Point]:
+    """Exactly one node uniformly placed inside every cell — the minimal
+    deployment satisfying the coverage precondition."""
+    r = _rng(rng)
+    out: List[Point] = []
+    for cell in cells.cells():
+        x0, y0, x1, y1 = cells.bounds(cell)
+        out.append((float(r.uniform(x0, x1)), float(r.uniform(y0, y1))))
+    return out
+
+
+def ensure_coverage(
+    positions: Sequence[Point],
+    cells: CellGrid,
+    rng: "np.random.Generator | int | None" = None,
+) -> List[Point]:
+    """Return ``positions`` augmented with one extra node at the centre of
+    every cell that has none.
+
+    Section 5.1 assumes *"there is at least one sensor node in each
+    geographic cell"*; experiments with random deployments use this helper
+    to make the precondition hold while recording how many cells needed
+    patching (``len(result) - len(positions)``).
+    """
+    covered = set()
+    for p in positions:
+        covered.add(cells.cell_of(p))
+    out = list(positions)
+    r = _rng(rng)
+    for cell in cells.cells():
+        if cell not in covered:
+            x0, y0, x1, y1 = cells.bounds(cell)
+            # small jitter around the centre keeps leader election nontrivial
+            cx, cy = cells.center(cell)
+            span = cells.cell_side / 4.0
+            out.append(
+                (
+                    float(min(max(cx + r.uniform(-span, span), x0), x1)),
+                    float(min(max(cy + r.uniform(-span, span), y0), y1)),
+                )
+            )
+    return out
+
+
+def punch_hole(
+    positions: Sequence[Point],
+    cells: CellGrid,
+    hole_cells: Sequence[Tuple[int, int]],
+) -> List[Point]:
+    """Remove every node inside the given cells (a coverage hole).
+
+    Produces deployments that *violate* the Section 5.1 coverage
+    precondition on purpose — the negative-space input for studying how
+    the protocols detect and report infeasible deployments (experiment
+    E8's precondition-failure path).
+    """
+    holes = set(hole_cells)
+    for cell in holes:
+        if not cells.contains_cell(cell):
+            raise ValueError(f"{cell!r} is not a cell of the grid")
+    return [p for p in positions if cells.cell_of(p) not in holes]
+
+
+def density_per_cell(positions: Sequence[Point], cells: CellGrid) -> List[int]:
+    """Node count of every cell (row-major) — deployment diagnostics."""
+    counts = {cell: 0 for cell in cells.cells()}
+    for p in positions:
+        counts[cells.cell_of(p)] += 1
+    return [counts[c] for c in cells.cells()]

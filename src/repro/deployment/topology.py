@@ -1,0 +1,263 @@
+"""The real network graph ``G_R`` (Section 5.1).
+
+*"The real network can therefore be represented by a graph G_R = (V_R,
+E_R), where vertices correspond to sensor nodes, and (i, j) in E_R iff
+delta(v_i, v_j) <= r, where delta is the Euclidean distance.  We assume G_R
+is connected."*
+
+:class:`RealNetwork` builds this unit-disk graph from a deployment (with a
+spatially bucketed neighbour search, so construction is near-linear in the
+node count for bounded density), exposes the neighbour sets the protocols
+use, and provides the connectivity checks the paper's assumptions require:
+global connectivity of ``G_R`` and connectivity of every cell-induced
+subgraph ``Cell(v_ij)``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from ..core.coords import GridCoord
+from .node import SensorNode
+from .terrain import CellGrid, Point, Terrain
+
+
+class RealNetwork:
+    """The deployed physical network: nodes, unit-disk edges, cell map.
+
+    Parameters
+    ----------
+    nodes:
+        The deployed :class:`SensorNode` objects (ids must be unique).
+    cells:
+        The cell decomposition; every node is assigned the cell containing
+        its position (the paper's ``CELL`` function).
+    """
+
+    def __init__(self, nodes: Sequence[SensorNode], cells: CellGrid):
+        ids = [n.node_id for n in nodes]
+        if len(set(ids)) != len(ids):
+            raise ValueError("node ids must be unique")
+        self.nodes: Dict[int, SensorNode] = {n.node_id: n for n in nodes}
+        self.cells = cells
+        self._cell_of: Dict[int, GridCoord] = {
+            n.node_id: cells.cell_of(n.position) for n in nodes
+        }
+        self._members: Dict[GridCoord, List[int]] = {}
+        for nid, cell in self._cell_of.items():
+            self._members.setdefault(cell, []).append(nid)
+        for member_list in self._members.values():
+            member_list.sort()
+        self._adjacency = self._build_adjacency(nodes)
+
+    # -- construction ------------------------------------------------------------
+
+    @staticmethod
+    def _build_adjacency(nodes: Sequence[SensorNode]) -> Dict[int, List[int]]:
+        """Unit-disk adjacency via spatial hashing on the max range."""
+        adjacency: Dict[int, List[int]] = {n.node_id: [] for n in nodes}
+        if len(nodes) < 2:
+            return adjacency
+        max_range = max(n.tx_range for n in nodes)
+        pos = np.array([n.position for n in nodes], dtype=float)
+        ids = [n.node_id for n in nodes]
+        ranges = np.array([n.tx_range for n in nodes], dtype=float)
+        bucket = max_range
+        keys = np.floor(pos / bucket).astype(np.int64)
+        buckets: Dict[Tuple[int, int], List[int]] = {}
+        for idx, (bx, by) in enumerate(keys):
+            buckets.setdefault((int(bx), int(by)), []).append(idx)
+        for (bx, by), members in buckets.items():
+            cand: List[int] = []
+            for dy in (-1, 0, 1):
+                for dx in (-1, 0, 1):
+                    cand.extend(buckets.get((bx + dx, by + dy), ()))
+            cand_arr = np.array(cand, dtype=int)
+            for i in members:
+                d = np.hypot(
+                    pos[cand_arr, 0] - pos[i, 0], pos[cand_arr, 1] - pos[i, 1]
+                )
+                # symmetric links: both radios must reach (identical nodes
+                # make this the plain unit-disk condition)
+                reach = np.minimum(ranges[cand_arr], ranges[i])
+                for j in cand_arr[(d <= reach) & (cand_arr != i)]:
+                    adjacency[ids[i]].append(ids[int(j)])
+        for nid in adjacency:
+            adjacency[nid] = sorted(set(adjacency[nid]))
+        return adjacency
+
+    # -- basic queries -------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    def node(self, node_id: int) -> SensorNode:
+        """Look up a node by id."""
+        return self.nodes[node_id]
+
+    def node_ids(self) -> List[int]:
+        """All node ids, sorted."""
+        return sorted(self.nodes)
+
+    def alive_ids(self) -> List[int]:
+        """Ids of nodes that are still alive."""
+        return sorted(nid for nid, n in self.nodes.items() if n.alive)
+
+    def neighbors(self, node_id: int, alive_only: bool = True) -> List[int]:
+        """One-hop neighbour set ``N(v_i)`` (alive nodes only by default)."""
+        nbrs = self._adjacency[node_id]
+        if not alive_only:
+            return list(nbrs)
+        return [j for j in nbrs if self.nodes[j].alive]
+
+    def distance(self, a: int, b: int) -> float:
+        """Euclidean distance between two nodes."""
+        pa, pb = self.nodes[a].position, self.nodes[b].position
+        return math.hypot(pa[0] - pb[0], pa[1] - pb[1])
+
+    def cell_of(self, node_id: int) -> GridCoord:
+        """The cell a node emulates (``CELL(v_i)``)."""
+        return self._cell_of[node_id]
+
+    def members_of_cell(self, cell: GridCoord, alive_only: bool = True) -> List[int]:
+        """``Cell(v_ij)``: the nodes that collectively emulate a grid node."""
+        members = self._members.get(cell, [])
+        if not alive_only:
+            return list(members)
+        return [nid for nid in members if self.nodes[nid].alive]
+
+    def edge_count(self) -> int:
+        """Number of undirected links."""
+        return sum(len(v) for v in self._adjacency.values()) // 2
+
+    def average_degree(self) -> float:
+        """Mean neighbour count — the density diagnostic."""
+        if not self.nodes:
+            return 0.0
+        return sum(len(v) for v in self._adjacency.values()) / len(self.nodes)
+
+    # -- connectivity (the paper's standing assumptions) ----------------------------
+
+    def _bfs(self, start: int, allowed: Optional[Set[int]] = None) -> Set[int]:
+        seen = {start}
+        frontier = [start]
+        while frontier:
+            nxt: List[int] = []
+            for u in frontier:
+                for v in self._adjacency[u]:
+                    if v in seen:
+                        continue
+                    if allowed is not None and v not in allowed:
+                        continue
+                    if not self.nodes[v].alive:
+                        continue
+                    seen.add(v)
+                    nxt.append(v)
+            frontier = nxt
+        return seen
+
+    def is_connected(self) -> bool:
+        """Global connectivity of ``G_R`` over alive nodes."""
+        alive = self.alive_ids()
+        if len(alive) <= 1:
+            return True
+        return len(self._bfs(alive[0], set(alive))) == len(alive)
+
+    def cell_subgraph_connected(self, cell: GridCoord) -> bool:
+        """Connectivity of the subgraph induced by ``Cell(v_ij)``.
+
+        Section 5.1: *"we assume that the subgraph of G_R induced by nodes
+        in Cell(v_ij) is connected"* — the precondition for the intra-cell
+        flooding steps of both runtime protocols.
+        """
+        members = self.members_of_cell(cell)
+        if not members:
+            return False
+        if len(members) == 1:
+            return True
+        reached = self._bfs(members[0], set(members))
+        return len(reached) == len(members)
+
+    def all_cells_covered(self) -> bool:
+        """True iff every cell holds at least one alive node."""
+        return all(
+            bool(self.members_of_cell(cell)) for cell in self.cells.cells()
+        )
+
+    def all_cell_subgraphs_connected(self) -> bool:
+        """True iff every cell's induced subgraph is connected."""
+        return all(
+            self.cell_subgraph_connected(cell) for cell in self.cells.cells()
+        )
+
+    def validate_protocol_preconditions(self) -> List[str]:
+        """Return a list of violated Section 5 preconditions (empty = ok)."""
+        problems: List[str] = []
+        if not self.all_cells_covered():
+            uncovered = [
+                c for c in self.cells.cells() if not self.members_of_cell(c)
+            ]
+            problems.append(f"{len(uncovered)} cells without alive nodes")
+        else:
+            broken = [
+                c
+                for c in self.cells.cells()
+                if not self.cell_subgraph_connected(c)
+            ]
+            if broken:
+                problems.append(
+                    f"{len(broken)} cells with disconnected induced subgraphs"
+                )
+        if not self.is_connected():
+            problems.append("G_R is not connected")
+        return problems
+
+    def shortest_hop_path(self, src: int, dst: int) -> Optional[List[int]]:
+        """BFS shortest path in hops over alive nodes (None if unreachable).
+
+        Used as the oracle against which protocol-built routes are checked.
+        """
+        if src == dst:
+            return [src]
+        parent: Dict[int, int] = {src: src}
+        frontier = [src]
+        while frontier:
+            nxt: List[int] = []
+            for u in frontier:
+                for v in self._adjacency[u]:
+                    if v in parent or not self.nodes[v].alive:
+                        continue
+                    parent[v] = u
+                    if v == dst:
+                        path = [v]
+                        while path[-1] != src:
+                            path.append(parent[path[-1]])
+                        return list(reversed(path))
+                    nxt.append(v)
+            frontier = nxt
+        return None
+
+
+def build_network(
+    positions: Sequence[Point],
+    cells: CellGrid,
+    tx_range: float,
+    initial_energy: float = 1e9,
+) -> RealNetwork:
+    """Construct a :class:`RealNetwork` of identical nodes from positions.
+
+    Node ids are assigned in position order (0..n-1).
+    """
+    nodes = [
+        SensorNode(
+            node_id=i,
+            position=p,
+            tx_range=tx_range,
+            initial_energy=initial_energy,
+        )
+        for i, p in enumerate(positions)
+    ]
+    return RealNetwork(nodes, cells)

@@ -1,0 +1,225 @@
+"""Binding virtual processes to physical nodes (Section 5.2).
+
+Each cell elects the member closest to the cell's geographic centre; that
+node *"can start executing the program specified for node v_ij in G_V"*.
+The protocol is a min-flood within each cell:
+
+* every node computes ``delta = Euclidean distance to the cell centre``
+  and broadcasts it;
+* messages crossing cell boundaries are suppressed (as in path setup);
+* a node hearing a smaller value clears its ``leader`` flag and
+  re-broadcasts the better value; at quiescence exactly one node per cell
+  — the one that never heard a smaller ``delta`` — keeps ``leader=true``.
+
+Ties are broken by node id (the paper's real-valued distances make ties
+measure-zero; ids make the implementation deterministic).  While flooding,
+each node remembers the neighbour it first heard the winning value from;
+these ``toward_leader`` pointers form a tree rooted at the leader, which
+the transport layer uses for intra-cell delivery to the bound process.
+
+The module also provides :func:`oracle_binding` (centralized argmin) and
+the hooks the paper mentions for alternative criteria: *"residual energy
+level or more sophisticated metrics could also be employed ... especially
+if the role of leader is to be periodically rotated"* — pass a custom
+``metric`` to :func:`bind_processes`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..core.coords import GridCoord
+from ..core.cost_model import CostModel
+from ..deployment.topology import RealNetwork
+from ..simulator.engine import Simulator
+from ..simulator.network import Packet, WirelessMedium
+from ..simulator.process import Process, ProcessHost
+
+#: Packet kind used by the election.
+ELECT_KIND = "elect"
+
+#: ``metric(network, node_id) -> float``; smaller wins.
+Metric = Callable[[RealNetwork, int], float]
+
+
+def distance_to_center_metric(network: RealNetwork, node_id: int) -> float:
+    """The paper's default criterion: Euclidean distance to the cell centre
+    (*"an effort to align the problem geometry and the network geometry as
+    closely as possible"*)."""
+    node = network.node(node_id)
+    return network.cells.distance_to_center(node.position, network.cell_of(node_id))
+
+
+def residual_energy_metric(network: RealNetwork, node_id: int) -> float:
+    """Alternative criterion: prefer the member with most residual energy
+    (negated so that smaller wins)."""
+    return -network.node(node_id).residual_energy
+
+
+class LeaderElectionProcess(Process):
+    """Per-node min-flood election logic."""
+
+    def __init__(self, metric: Metric = distance_to_center_metric,
+                 msg_size_units: float = 1.0):
+        super().__init__()
+        self.metric = metric
+        self.msg_size_units = msg_size_units
+        self.cell: GridCoord = (-1, -1)
+        self.my_value: Tuple[float, int] = (float("inf"), -1)
+        self.best: Tuple[float, int] = (float("inf"), -1)
+        self.leader = True
+        self.toward_leader: Optional[int] = None
+
+    def on_start(self) -> None:
+        net = self.medium.network
+        self.cell = net.cell_of(self.node_id)
+        self.my_value = (self.metric(net, self.node_id), self.node_id)
+        self.best = self.my_value
+        self.leader = True
+        self.broadcast(ELECT_KIND, (self.cell, self.best), self.msg_size_units)
+
+    def on_packet(self, packet: Packet) -> None:
+        if packet.kind != ELECT_KIND:
+            return
+        sender_cell, value = packet.payload
+        if sender_cell != self.cell:
+            return  # boundary suppression
+        if value < self.best:
+            self.best = value
+            self.leader = False
+            self.toward_leader = packet.src
+            self.broadcast(ELECT_KIND, (self.cell, self.best), self.msg_size_units)
+
+
+@dataclass
+class Binding:
+    """The converged binding: which physical node runs each virtual process.
+
+    Attributes
+    ----------
+    leaders:
+        ``cell -> elected node id``.
+    toward_leader:
+        ``node id -> next hop toward its cell's leader`` (None at the
+        leader itself, and at nodes that never heard a better value —
+        impossible in connected cells).
+    """
+
+    network: RealNetwork
+    leaders: Dict[GridCoord, int]
+    toward_leader: Dict[int, Optional[int]]
+
+    def leader_of(self, cell: GridCoord) -> int:
+        """The bound node of ``cell`` (raises ``KeyError`` if unbound)."""
+        return self.leaders[cell]
+
+    def is_leader(self, node_id: int) -> bool:
+        """True iff ``node_id`` won its cell's election."""
+        return self.leaders.get(self.network.cell_of(node_id)) == node_id
+
+    def path_to_leader(self, node_id: int) -> List[int]:
+        """Follow the gradient pointers from ``node_id`` to its leader.
+
+        Returns the node-id path inclusive of both ends; raises
+        :class:`RuntimeError` on a broken or cyclic gradient.
+        """
+        path = [node_id]
+        seen = {node_id}
+        current = node_id
+        while not self.is_leader(current):
+            nxt = self.toward_leader.get(current)
+            if nxt is None:
+                raise RuntimeError(
+                    f"node {current} has no gradient pointer and is not leader"
+                )
+            if nxt in seen:
+                raise RuntimeError(f"gradient cycle at node {nxt}")
+            seen.add(nxt)
+            path.append(nxt)
+            current = nxt
+        return path
+
+    def verify(self, metric: Metric = distance_to_center_metric) -> List[str]:
+        """Check against the centralized oracle: exactly one leader per
+        covered cell, and it is the (metric, id)-argmin of the cell."""
+        problems: List[str] = []
+        oracle = oracle_binding(self.network, metric)
+        for cell in self.network.cells.cells():
+            members = self.network.members_of_cell(cell)
+            if not members:
+                if cell in self.leaders:
+                    problems.append(f"cell {cell}: leader but no members")
+                continue
+            if cell not in self.leaders:
+                problems.append(f"cell {cell}: no leader elected")
+                continue
+            if self.leaders[cell] != oracle[cell]:
+                problems.append(
+                    f"cell {cell}: elected {self.leaders[cell]}, "
+                    f"oracle says {oracle[cell]}"
+                )
+        return problems
+
+
+def oracle_binding(
+    network: RealNetwork, metric: Metric = distance_to_center_metric
+) -> Dict[GridCoord, int]:
+    """Centralized ground truth: per-cell (metric, id)-argmin."""
+    out: Dict[GridCoord, int] = {}
+    for cell in network.cells.cells():
+        members = network.members_of_cell(cell)
+        if members:
+            out[cell] = min(members, key=lambda m: (metric(network, m), m))
+    return out
+
+
+@dataclass
+class BindingResult:
+    """Protocol outcome: the binding plus cost/convergence measurements."""
+
+    binding: Binding
+    setup_time: float
+    messages: int
+    energy: float
+
+
+def bind_processes(
+    network: RealNetwork,
+    metric: Metric = distance_to_center_metric,
+    cost_model: Optional[CostModel] = None,
+    loss_rate: float = 0.0,
+    rng: "np.random.Generator | int | None" = None,
+    msg_size_units: float = 1.0,
+) -> BindingResult:
+    """Run the binding protocol to convergence and collect the result."""
+    sim = Simulator()
+    medium = WirelessMedium(
+        sim, network, cost_model=cost_model, loss_rate=loss_rate, rng=rng
+    )
+    host = ProcessHost(sim, medium)
+    host.add_all(lambda nid: LeaderElectionProcess(metric, msg_size_units))
+    host.start()
+    sim.run_until_quiet()
+
+    leaders: Dict[GridCoord, int] = {}
+    toward: Dict[int, Optional[int]] = {}
+    for nid, proc in host.processes.items():
+        assert isinstance(proc, LeaderElectionProcess)
+        toward[nid] = proc.toward_leader
+        if proc.leader:
+            cell = network.cell_of(nid)
+            if cell in leaders:
+                # two survivors in one cell would mean non-convergence
+                raise RuntimeError(
+                    f"cell {cell}: multiple leaders {leaders[cell]} and {nid}"
+                )
+            leaders[cell] = nid
+    return BindingResult(
+        binding=Binding(network=network, leaders=leaders, toward_leader=toward),
+        setup_time=sim.now,
+        messages=medium.stats.transmissions,
+        energy=medium.ledger.total,
+    )

@@ -1,0 +1,175 @@
+"""Query execution over the deployed network (Section 3.1's decoupling).
+
+The design-time query costs live in ``repro.apps.queries``; this module
+runs the same request/response pattern over the *physical* stack: a
+querier (the bound leader of an arbitrary query cell) unicasts a request
+through the emulated grid to every storage leader, each replies with its
+stored payload, and the querier reduces the responses.  The measured
+radio cost of querying is then directly comparable with the gathering
+round that populated the storage — the paper's claim that *"processing
+and responding to queries could be in most cases decoupled from the
+actual data gathering"*.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..core.coords import GridCoord
+from ..core.cost_model import EnergyLedger
+from ..simulator.engine import Simulator
+from ..simulator.network import WirelessMedium
+from ..simulator.process import ProcessHost
+from .routing import TransportEnvelope, TransportProcess
+from .stack import DeployedStack
+
+#: Inner-payload tags used by the query protocol.
+QUERY_REQUEST = "qreq"
+QUERY_RESPONSE = "qresp"
+
+
+@dataclass
+class DeployedQueryResult:
+    """Outcome of one query round over the physical stack."""
+
+    value: Any
+    responses: int
+    latency: float
+    energy: float
+    transmissions: int
+    drops: int
+
+
+class _QueryProcess(TransportProcess):
+    """Per-node transport plus the storage/querier roles."""
+
+    def __init__(
+        self,
+        topology,
+        binding,
+        stored: Optional[Any],
+        is_querier: bool,
+        expected_responses: int,
+        response_size_of: Callable[[Any], float],
+        collected: List[Any],
+        counters: Dict[str, int],
+        reliable: bool = False,
+    ):
+        super().__init__(topology, binding, reliable=reliable)
+        self.stored = stored
+        self.is_querier = is_querier
+        self.expected_responses = expected_responses
+        self.response_size_of = response_size_of
+        self.collected = collected
+        self.counters = counters
+
+    def _deliver(self, envelope: TransportEnvelope) -> None:
+        kind, body = envelope.inner
+        if kind == QUERY_REQUEST:
+            if self.stored is None:
+                self.counters["misdirected"] += 1
+                return
+            # originate() (rather than hand-built envelopes) so the reply
+            # gets a uid and rides the reliable transport when enabled
+            self.originate(
+                body,  # the querier's cell rides in the request
+                (QUERY_RESPONSE, self.stored),
+                size_units=self.response_size_of(self.stored),
+            )
+        elif kind == QUERY_RESPONSE:
+            if not self.is_querier:
+                self.counters["misdirected"] += 1
+                return
+            self.collected.append(body)
+            self.counters["responses"] += 1
+
+    def _drop(self, envelope: TransportEnvelope, reason: str) -> None:
+        super()._drop(envelope, reason)
+        self.counters["dropped"] += 1
+
+
+def run_deployed_query(
+    stack: DeployedStack,
+    storage: Dict[GridCoord, Any],
+    query_cell: GridCoord,
+    reduce_fn: Callable[[List[Any]], Any],
+    request_size: float = 1.0,
+    response_size_of: Optional[Callable[[Any], float]] = None,
+    loss_rate: float = 0.0,
+    rng: "np.random.Generator | int | None" = None,
+    reliable: bool = False,
+) -> DeployedQueryResult:
+    """Execute one query round on the deployed stack.
+
+    Parameters
+    ----------
+    stack:
+        A deployed stack (protocols converged).
+    storage:
+        ``cell -> stored payload`` at the storage leaders (typically the
+        ``exfiltrated`` map of a partial-reduction application round).
+    query_cell:
+        Where the query is injected; its bound leader acts as querier.
+    reduce_fn:
+        Combines the collected responses (including the querier's own
+        stored payload, if it is itself a storage cell) into the answer.
+    request_size / response_size_of:
+        Data units of requests and responses (default 1 unit each).
+    """
+    if query_cell not in stack.binding.leaders:
+        raise ValueError(f"query cell {query_cell} has no bound leader")
+    sizes = response_size_of or (lambda payload: 1.0)
+    network = stack.network
+    sim = Simulator()
+    medium = WirelessMedium(
+        sim, network, cost_model=stack.cost_model, loss_rate=loss_rate, rng=rng
+    )
+    host = ProcessHost(sim, medium)
+    collected: List[Any] = []
+    counters = {"responses": 0, "dropped": 0, "misdirected": 0}
+
+    remote_cells = [c for c in storage if c != query_cell]
+    querier_proc: Optional[_QueryProcess] = None
+    for nid in network.alive_ids():
+        cell = network.cell_of(nid)
+        is_bound_leader = stack.binding.leaders.get(cell) == nid
+        proc = _QueryProcess(
+            stack.topology,
+            stack.binding,
+            stored=storage.get(cell) if is_bound_leader else None,
+            is_querier=is_bound_leader and cell == query_cell,
+            expected_responses=len(remote_cells),
+            response_size_of=sizes,
+            collected=collected,
+            counters=counters,
+            reliable=reliable,
+        )
+        host.add(nid, proc)
+        if proc.is_querier:
+            querier_proc = proc
+    assert querier_proc is not None
+
+    # the querier's own stored payload (if any) needs no radio round trip
+    if query_cell in storage:
+        collected.append(storage[query_cell])
+
+    def inject() -> None:
+        for cell in remote_cells:
+            querier_proc.originate(
+                cell, (QUERY_REQUEST, query_cell), size_units=request_size
+            )
+
+    sim.schedule(0.0, inject)
+    sim.run_until_quiet()
+
+    return DeployedQueryResult(
+        value=reduce_fn(collected),
+        responses=counters["responses"],
+        latency=sim.now,
+        energy=medium.ledger.total,
+        transmissions=medium.stats.transmissions,
+        drops=counters["dropped"],
+    )

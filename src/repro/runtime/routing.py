@@ -1,0 +1,261 @@
+"""Message transport over the emulated grid.
+
+The user of the virtual architecture addresses *cells* (virtual nodes);
+this layer realizes cell-to-cell delivery on the physical network using
+the products of the two Section 5 protocols:
+
+* **inter-cell**: XY (dimension-ordered) routing over cells — *"the user
+  can choose any routing protocol implemented on the oriented grid using
+  the routing table to forward messages between adjacent cells"* — where
+  each cell crossing follows the topology-emulation ``RT`` pointers
+  (possibly multi-hop within the cell to reach a gateway);
+* **intra-cell**: delivery to the cell's bound process (leader) along the
+  ``toward_leader`` gradient built during the election.
+
+:class:`TransportProcess` is the per-node forwarding engine; the deployed
+application stack subclasses it to hand delivered payloads to the
+synthesized rule program.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from ..core.coords import Direction, GridCoord
+from ..simulator.network import Packet
+from ..simulator.process import Process
+from .binding import Binding
+from .topology_emulation import EmulatedTopology
+
+#: Packet kind used by the transport layer.
+TRANSPORT_KIND = "transport"
+
+#: Packet kind of hop-by-hop acknowledgements (reliable mode).
+ACK_KIND = "transport-ack"
+
+
+@dataclass
+class TransportEnvelope:
+    """A cell-addressed message in flight.
+
+    ``hops`` counts physical transmissions so far (diagnostics); ``inner``
+    is the application payload delivered to the destination cell's bound
+    process.  ``uid`` identifies the envelope end to end in reliable mode
+    (origin node id, origin-local sequence number).
+    """
+
+    src_cell: GridCoord
+    dst_cell: GridCoord
+    inner: Any
+    size_units: float = 1.0
+    hops: int = 0
+    uid: Optional[Tuple[int, int]] = None
+
+
+def next_direction(src_cell: GridCoord, dst_cell: GridCoord) -> Direction:
+    """XY routing decision: first fix x (east/west), then y (north/south)."""
+    if src_cell == dst_cell:
+        raise ValueError("already at destination cell")
+    if dst_cell[0] > src_cell[0]:
+        return Direction.EAST
+    if dst_cell[0] < src_cell[0]:
+        return Direction.WEST
+    if dst_cell[1] > src_cell[1]:
+        return Direction.SOUTH
+    return Direction.NORTH
+
+
+class TransportProcess(Process):
+    """Per-node store-and-forward engine over the emulated topology.
+
+    Parameters
+    ----------
+    topology:
+        Converged routing tables (shared across processes).
+    binding:
+        Converged leader binding (shared).
+    on_deliver:
+        Called as ``on_deliver(self, envelope)`` when an envelope reaches
+        the bound leader of its destination cell.
+    on_drop:
+        Called on forwarding failure (missing table entry / dead next
+        hop); default counts into :attr:`drops`.
+    reliable:
+        Enable hop-by-hop ARQ: every forward expects an acknowledgement
+        from the next hop and is retransmitted up to ``max_retries``
+        times after ``ack_timeout`` time units.  Duplicates created by
+        lost acknowledgements are suppressed by envelope ``uid``.  This is
+        the natural hardening of the Section 4.3 observation that
+        *"some messages might even be dropped"* — the synthesized program
+        stays oblivious.
+    """
+
+    def __init__(
+        self,
+        topology: EmulatedTopology,
+        binding: Binding,
+        on_deliver: Optional[Callable[["TransportProcess", TransportEnvelope], None]] = None,
+        on_drop: Optional[Callable[["TransportProcess", TransportEnvelope, str], None]] = None,
+        reliable: bool = False,
+        max_retries: int = 3,
+        ack_timeout: float = 4.0,
+        ack_size_units: float = 1.0,
+    ):
+        super().__init__()
+        self.topology = topology
+        self.binding = binding
+        self.on_deliver = on_deliver
+        self.on_drop = on_drop
+        self.reliable = reliable
+        self.max_retries = max_retries
+        self.ack_timeout = ack_timeout
+        self.ack_size_units = ack_size_units
+        self.drops = 0
+        self.forwarded = 0
+        self.retransmissions = 0
+        self._seq = 0
+        self._pending: Dict[Tuple[int, int], Tuple[TransportEnvelope, int, int]] = {}
+        self._pending_timers: Dict[Tuple[int, int], Any] = {}
+        self._seen_uids: set = set()
+
+    # -- API used by the application layer ---------------------------------------
+
+    def originate(self, dst_cell: GridCoord, inner: Any, size_units: float = 1.0) -> None:
+        """Inject a new envelope at this node."""
+        uid = None
+        if self.reliable:
+            uid = (self.node_id, self._seq)
+            self._seq += 1
+        envelope = TransportEnvelope(
+            src_cell=self.my_cell, dst_cell=dst_cell, inner=inner,
+            size_units=size_units, uid=uid,
+        )
+        self._route(envelope)
+
+    @property
+    def my_cell(self) -> GridCoord:
+        """The cell this node lies in."""
+        return self.medium.network.cell_of(self.node_id)
+
+    # -- forwarding ----------------------------------------------------------------
+
+    def on_packet(self, packet: Packet) -> None:
+        if packet.kind == ACK_KIND:
+            self._on_ack(packet.payload)
+            return
+        if packet.kind != TRANSPORT_KIND:
+            return
+        envelope: TransportEnvelope = packet.payload
+        if self.reliable and envelope.uid is not None:
+            # acknowledge receipt to the previous hop (even duplicates:
+            # the original ack may have been the lost packet)
+            self.unicast(packet.src, ACK_KIND, envelope.uid, self.ack_size_units)
+            if envelope.uid in self._seen_uids:
+                return
+            self._seen_uids.add(envelope.uid)
+        self._route(envelope)
+
+    def _on_ack(self, uid: Tuple[int, int]) -> None:
+        self._pending.pop(uid, None)
+        timer = self._pending_timers.pop(uid, None)
+        if timer is not None:
+            timer.cancel()
+
+    def on_timer(self, tag: Any) -> None:
+        if not (isinstance(tag, tuple) and len(tag) == 2):
+            return
+        entry = self._pending.get(tag)
+        if entry is None:
+            return
+        envelope, nxt, attempts = entry
+        if attempts >= self.max_retries:
+            del self._pending[tag]
+            self._pending_timers.pop(tag, None)
+            self._drop(envelope, f"no ack from {nxt} after {attempts} retries")
+            return
+        self.retransmissions += 1
+        self._pending[tag] = (envelope, nxt, attempts + 1)
+        self.unicast(nxt, TRANSPORT_KIND, envelope, envelope.size_units)
+        self._pending_timers[tag] = self.set_timer(self.ack_timeout, tag)
+
+    def _route(self, envelope: TransportEnvelope) -> None:
+        cell = self.my_cell
+        if cell == envelope.dst_cell:
+            if self.binding.is_leader(self.node_id):
+                self._deliver(envelope)
+                return
+            nxt = self.binding.toward_leader.get(self.node_id)
+            if nxt is None:
+                self._drop(envelope, "no gradient pointer toward leader")
+                return
+            self._forward(envelope, nxt)
+            return
+        direction = next_direction(cell, envelope.dst_cell)
+        nxt = self.topology.entry(self.node_id, direction)
+        if nxt is None:
+            self._drop(envelope, f"no routing entry {direction.name}")
+            return
+        self._forward(envelope, nxt)
+
+    def _forward(self, envelope: TransportEnvelope, nxt: int) -> None:
+        if not self.medium.network.node(nxt).alive:
+            self._drop(envelope, f"next hop {nxt} dead")
+            return
+        envelope.hops += 1
+        self.forwarded += 1
+        self.unicast(nxt, TRANSPORT_KIND, envelope, envelope.size_units)
+        if self.reliable and envelope.uid is not None:
+            self._pending[envelope.uid] = (envelope, nxt, 0)
+            self._pending_timers[envelope.uid] = self.set_timer(
+                self.ack_timeout, envelope.uid
+            )
+
+    def _deliver(self, envelope: TransportEnvelope) -> None:
+        if self.on_deliver is not None:
+            self.on_deliver(self, envelope)
+
+    def _drop(self, envelope: TransportEnvelope, reason: str) -> None:
+        self.drops += 1
+        if self.on_drop is not None:
+            self.on_drop(self, envelope, reason)
+
+
+def trace_route(
+    topology: EmulatedTopology,
+    binding: Binding,
+    src_cell: GridCoord,
+    dst_cell: GridCoord,
+) -> List[int]:
+    """Offline computation of the physical node path an envelope takes from
+    the leader of ``src_cell`` to the leader of ``dst_cell``.
+
+    Mirrors :class:`TransportProcess` exactly (XY over cells, gateway
+    chains, leader gradient); used in tests and for hop-count analytics
+    without running the simulator.
+    """
+    net = topology.network
+    current = binding.leader_of(src_cell)
+    path = [current]
+    guard = 0
+    limit = 4 * len(net.nodes) + 16
+    while True:
+        guard += 1
+        if guard > limit:
+            raise RuntimeError("route did not converge (cycle suspected)")
+        cell = net.cell_of(current)
+        if cell == dst_cell:
+            if binding.is_leader(current):
+                return path
+            nxt = binding.toward_leader.get(current)
+            if nxt is None:
+                raise RuntimeError(f"node {current}: no gradient pointer")
+        else:
+            direction = next_direction(cell, dst_cell)
+            nxt = topology.entry(current, direction)
+            if nxt is None:
+                raise RuntimeError(
+                    f"node {current}: no routing entry {direction.name}"
+                )
+        path.append(nxt)
+        current = nxt

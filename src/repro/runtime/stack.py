@@ -1,0 +1,264 @@
+"""The full deployed stack: virtual architecture bound to a real network.
+
+This module closes the paper's loop (Figure 1, bottom): the *same*
+synthesized program that the design-time executor ran on the virtual grid
+executes here on physical nodes —
+
+1. :func:`deploy` runs the two Section 5 protocols (topology emulation,
+   process binding) over the deployment;
+2. :class:`DeployedStack.run_application` hosts each virtual node's rule
+   program on the elected leader of its cell; SEND effects travel through
+   the transport layer (XY cell routing over the emulated grid, gateway
+   chains, leader gradients);
+3. results, energy (drawn from real node batteries), time, and message
+   counts are collected so EXPERIMENTS.md can compare design-time
+   estimates against "deployed" measurements.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..core.coords import GridCoord
+from ..core.cost_model import CostModel, EnergyLedger, UniformCostModel
+from ..core.program import EXFILTRATE, SEND, Effect, Message, NodeProgram
+from ..core.synthesis import SynthesizedProgram
+from ..deployment.topology import RealNetwork
+from ..simulator.engine import Simulator
+from ..simulator.network import WirelessMedium
+from ..simulator.process import ProcessHost
+from .binding import Binding, BindingResult, Metric, bind_processes, distance_to_center_metric
+from .routing import TransportEnvelope, TransportProcess
+from .topology_emulation import EmulatedTopology, EmulationResult, emulate_topology
+
+
+@dataclass
+class SetupReport:
+    """Cost of bringing the virtual architecture up on the deployment."""
+
+    emulation: EmulationResult
+    binding: BindingResult
+
+    @property
+    def total_messages(self) -> int:
+        """Protocol transmissions across both phases."""
+        return self.emulation.messages + self.binding.messages
+
+    @property
+    def total_energy(self) -> float:
+        """Energy drawn by both phases."""
+        return self.emulation.energy + self.binding.energy
+
+
+@dataclass
+class DeployedRunResult:
+    """Outcome of one application round on the deployed stack.
+
+    ``exfiltrated`` is keyed by *cell* (virtual coordinate), matching the
+    design-time :class:`~repro.core.executor.ExecutionResult` so the two
+    can be diffed directly.
+    """
+
+    exfiltrated: Dict[GridCoord, Any]
+    ledger: EnergyLedger
+    latency: float
+    transmissions: int
+    drops: int
+    delivered_envelopes: int
+
+    @property
+    def root_payload(self) -> Any:
+        """The single exfiltrated payload (raises unless exactly one)."""
+        if len(self.exfiltrated) != 1:
+            raise ValueError(
+                f"expected exactly one exfiltration, got {len(self.exfiltrated)}"
+            )
+        return next(iter(self.exfiltrated.values()))
+
+
+class _AppProcess(TransportProcess):
+    """Transport engine plus (on leaders) the synthesized rule program."""
+
+    def __init__(
+        self,
+        topology: EmulatedTopology,
+        binding: Binding,
+        program: Optional[NodeProgram],
+        result_sink: Dict[GridCoord, Any],
+        counters: Dict[str, int],
+        reliable: bool = False,
+        max_retries: int = 3,
+        ack_timeout: float = 4.0,
+    ):
+        super().__init__(
+            topology,
+            binding,
+            on_deliver=None,
+            on_drop=None,
+            reliable=reliable,
+            max_retries=max_retries,
+            ack_timeout=ack_timeout,
+        )
+        self.program = program
+        self.result_sink = result_sink
+        self.counters = counters
+
+    def on_start(self) -> None:
+        if self.program is not None:
+            effects = self.program.start()
+            self._realize(effects)
+
+    def _deliver(self, envelope: TransportEnvelope) -> None:
+        self.counters["delivered"] += 1
+        if self.program is None:
+            self.counters["orphaned"] += 1
+            return
+        effects = self.program.deliver(envelope.inner)
+        self._realize(effects)
+
+    def _drop(self, envelope: TransportEnvelope, reason: str) -> None:
+        super()._drop(envelope, reason)
+        self.counters["dropped"] += 1
+
+    def _realize(self, effects: List[Effect]) -> None:
+        for effect in effects:
+            if effect.kind == SEND:
+                assert effect.destination is not None and effect.message is not None
+                self.originate(
+                    effect.destination,
+                    effect.message,
+                    size_units=effect.message.size_units,
+                )
+            elif effect.kind == EXFILTRATE:
+                self.result_sink[self.my_cell] = effect.payload
+
+
+class DeployedStack:
+    """A virtual architecture brought up on a physical deployment.
+
+    Construct via :func:`deploy`, which runs the setup protocols; then
+    call :meth:`run_application` any number of times (each round uses a
+    fresh simulator but drains the same node batteries, so lifetime
+    studies can loop rounds until death).
+    """
+
+    def __init__(
+        self,
+        network: RealNetwork,
+        topology: EmulatedTopology,
+        binding: Binding,
+        setup: SetupReport,
+        cost_model: Optional[CostModel] = None,
+    ):
+        self.network = network
+        self.topology = topology
+        self.binding = binding
+        self.setup = setup
+        self.cost_model = cost_model or UniformCostModel()
+
+    def run_application(
+        self,
+        spec: SynthesizedProgram,
+        loss_rate: float = 0.0,
+        rng: "np.random.Generator | int | None" = None,
+        max_events: int = 10_000_000,
+        reliable: bool = False,
+        max_retries: int = 3,
+        ack_timeout: float = 4.0,
+    ) -> DeployedRunResult:
+        """Execute one round of the synthesized application.
+
+        ``spec``'s grid must match the cell decomposition (one virtual
+        node per cell).  Every cell's elected leader hosts the rule
+        program of its virtual coordinate; all nodes forward.  With
+        ``reliable`` the transport uses hop-by-hop acknowledgements and
+        retransmission, making rounds robust to ``loss_rate`` at the cost
+        of ack traffic.
+        """
+        side = self.network.cells.cells_per_side
+        grid = spec.groups.grid
+        if (grid.width, grid.height) != (side, side):
+            raise ValueError(
+                f"program grid {grid.width}x{grid.height} does not match "
+                f"the {side}x{side} cell decomposition"
+            )
+        sim = Simulator()
+        medium = WirelessMedium(
+            sim, self.network, cost_model=self.cost_model,
+            loss_rate=loss_rate, rng=rng,
+        )
+        host = ProcessHost(sim, medium)
+        results: Dict[GridCoord, Any] = {}
+        counters = {"delivered": 0, "dropped": 0, "orphaned": 0}
+
+        for nid in self.network.alive_ids():
+            cell = self.network.cell_of(nid)
+            program = (
+                spec.program_for(cell)
+                if self.binding.leaders.get(cell) == nid
+                else None
+            )
+            host.add(
+                nid,
+                _AppProcess(
+                    self.topology,
+                    self.binding,
+                    program,
+                    results,
+                    counters,
+                    reliable=reliable,
+                    max_retries=max_retries,
+                    ack_timeout=ack_timeout,
+                ),
+            )
+        host.start()
+        sim.run(max_events=max_events)
+        return DeployedRunResult(
+            exfiltrated=results,
+            ledger=medium.ledger,
+            latency=sim.now,
+            transmissions=medium.stats.transmissions,
+            drops=counters["dropped"],
+            delivered_envelopes=counters["delivered"],
+        )
+
+
+def deploy(
+    network: RealNetwork,
+    cost_model: Optional[CostModel] = None,
+    metric: Metric = distance_to_center_metric,
+    loss_rate: float = 0.0,
+    rng: "np.random.Generator | int | None" = None,
+    strict: bool = True,
+) -> DeployedStack:
+    """Bring the virtual architecture up on ``network``.
+
+    Runs topology emulation then process binding; with ``strict`` the
+    Section 5 preconditions (coverage, intra-cell connectivity, global
+    connectivity) are validated first and violations raise
+    :class:`RuntimeError` listing the problems.
+    """
+    if strict:
+        problems = network.validate_protocol_preconditions()
+        if problems:
+            raise RuntimeError(
+                "deployment violates Section 5 preconditions: "
+                + "; ".join(problems)
+            )
+    emulation = emulate_topology(
+        network, cost_model=cost_model, loss_rate=loss_rate, rng=rng
+    )
+    binding_result = bind_processes(
+        network, metric=metric, cost_model=cost_model,
+        loss_rate=loss_rate, rng=rng,
+    )
+    return DeployedStack(
+        network=network,
+        topology=emulation.topology,
+        binding=binding_result.binding,
+        setup=SetupReport(emulation=emulation, binding=binding_result),
+        cost_model=cost_model,
+    )

@@ -1,0 +1,123 @@
+"""Discrete-event simulation engine.
+
+A minimal, deterministic event-queue kernel: events are ``(time, seq)``
+ordered callbacks, where the monotone sequence number makes simultaneous
+events fire in scheduling order — runs are exactly reproducible for a
+given seed, which every experiment in EXPERIMENTS.md relies on.
+
+The engine knows nothing about radios or nodes; ``repro.simulator.network``
+builds the wireless medium on top and ``repro.simulator.process`` the
+per-node reactive processes.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Callable, List, Optional, Tuple
+
+
+class Simulator:
+    """The event loop.
+
+    Use :meth:`schedule` (relative delay) or :meth:`schedule_at` (absolute
+    time) to enqueue callbacks, then :meth:`run` to drain the queue.
+    """
+
+    def __init__(self) -> None:
+        self._queue: List[Tuple[float, int, "EventHandle", Callable[[], None]]] = []
+        self._seq = itertools.count()
+        self._now = 0.0
+        self._events_processed = 0
+        self._running = False
+
+    @property
+    def now(self) -> float:
+        """Current simulation time."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        """Number of events fired so far."""
+        return self._events_processed
+
+    @property
+    def pending(self) -> int:
+        """Number of events still queued (cancelled events included)."""
+        return len(self._queue)
+
+    def schedule(self, delay: float, callback: Callable[[], None]) -> "EventHandle":
+        """Enqueue ``callback`` to fire ``delay`` time units from now."""
+        if delay < 0:
+            raise ValueError(f"delay must be non-negative, got {delay}")
+        return self.schedule_at(self._now + delay, callback)
+
+    def schedule_at(self, time: float, callback: Callable[[], None]) -> "EventHandle":
+        """Enqueue ``callback`` at absolute ``time`` (>= now)."""
+        if time < self._now:
+            raise ValueError(
+                f"cannot schedule in the past (now={self._now}, time={time})"
+            )
+        handle = EventHandle(time)
+        heapq.heappush(self._queue, (time, next(self._seq), handle, callback))
+        return handle
+
+    def run(
+        self,
+        until: Optional[float] = None,
+        max_events: Optional[int] = None,
+    ) -> float:
+        """Process events in order until the queue drains, ``until`` is
+        reached, or ``max_events`` have fired.  Returns the final time."""
+        if self._running:
+            raise RuntimeError("simulator is not reentrant")
+        self._running = True
+        fired = 0
+        try:
+            while self._queue:
+                time, _, handle, callback = self._queue[0]
+                if until is not None and time > until:
+                    self._now = until
+                    break
+                heapq.heappop(self._queue)
+                if handle.cancelled:
+                    continue
+                self._now = time
+                callback()
+                self._events_processed += 1
+                fired += 1
+                if max_events is not None and fired >= max_events:
+                    break
+        finally:
+            self._running = False
+        return self._now
+
+    def run_until_quiet(self, max_events: int = 10_000_000) -> float:
+        """Drain every event; raise if the budget is exceeded (an
+        accidental livelock in a protocol under test)."""
+        start = self._events_processed
+        self.run(max_events=max_events)
+        if self._queue and any(not h.cancelled for _, _, h, _ in self._queue):
+            raise RuntimeError(
+                f"simulation did not quiesce within {max_events} events "
+                f"({self._events_processed - start} fired)"
+            )
+        return self._now
+
+
+class EventHandle:
+    """Cancellable reference to a scheduled event (timers use this)."""
+
+    __slots__ = ("time", "cancelled")
+
+    def __init__(self, time: float):
+        self.time = time
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the event from firing (no effect if already fired)."""
+        self.cancelled = True
+
+    # Handles participate in heap tuples; order ties deterministically by id.
+    def __lt__(self, other: "EventHandle") -> bool:
+        return id(self) < id(other)

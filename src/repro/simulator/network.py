@@ -1,0 +1,180 @@
+"""The simulated wireless medium.
+
+Realizes single-hop radio communication over the unit-disk graph of a
+:class:`~repro.deployment.topology.RealNetwork`:
+
+* **broadcast** — one transmission heard by every alive one-hop neighbour
+  (the radio broadcast advantage both Section 5 protocols exploit: a node
+  "broadcasts its own (small) routing table to all its neighbors");
+* **unicast** — addressed to a single neighbour; other neighbours still
+  overhear the channel but the medium charges only the addressee's radio
+  (an idealization noted in DESIGN.md).
+
+Per-packet latency and energy come from the active
+:class:`~repro.core.cost_model.CostModel`; optional i.i.d. packet loss
+models the paper's *"latency of message delivery is unpredictable in
+typical sensor networks and some messages might even be dropped"*.
+Energy is both drawn from each :class:`SensorNode` battery and recorded in
+an :class:`EnergyLedger` keyed by node id.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+import numpy as np
+
+from ..core.cost_model import CostModel, EnergyLedger, UniformCostModel
+from ..deployment.topology import RealNetwork
+from .engine import Simulator
+from .trace import MediumStats
+
+
+@dataclass
+class Packet:
+    """One radio packet.
+
+    ``dst`` is None for broadcasts; for unicasts it names the addressed
+    neighbour.  ``kind`` tags the protocol ("rt", "elect", "mGraph", ...);
+    ``payload`` is protocol-defined and treated as opaque by the medium.
+    """
+
+    src: int
+    kind: str
+    payload: Any
+    size_units: float = 1.0
+    dst: Optional[int] = None
+
+
+class WirelessMedium:
+    """The shared radio channel.
+
+    Parameters
+    ----------
+    sim:
+        The event engine.
+    network:
+        The deployed physical network (adjacency + node batteries).
+    cost_model:
+        Energy/latency functions (default: the paper's uniform model).
+    loss_rate:
+        Independent per-receiver drop probability in ``[0, 1)``.
+    rng:
+        Seeded generator for loss draws (required if ``loss_rate > 0``).
+    jitter:
+        Maximum extra random delivery delay (models MAC contention);
+        0 keeps delivery deterministic.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: RealNetwork,
+        cost_model: Optional[CostModel] = None,
+        loss_rate: float = 0.0,
+        rng: "np.random.Generator | int | None" = None,
+        jitter: float = 0.0,
+    ):
+        if not 0.0 <= loss_rate < 1.0:
+            raise ValueError(f"loss_rate must be in [0, 1), got {loss_rate}")
+        if jitter < 0:
+            raise ValueError("jitter must be non-negative")
+        self.sim = sim
+        self.network = network
+        self.cost_model = cost_model or UniformCostModel()
+        self.loss_rate = loss_rate
+        self.jitter = jitter
+        if isinstance(rng, np.random.Generator):
+            self.rng = rng
+        else:
+            self.rng = np.random.default_rng(rng)
+        self.ledger = EnergyLedger()
+        self.stats = MediumStats()
+        self._handlers: Dict[int, Callable[[Packet], None]] = {}
+
+    def attach(self, node_id: int, handler: Callable[[Packet], None]) -> None:
+        """Register the packet handler of ``node_id`` (its process)."""
+        if node_id not in self.network.nodes:
+            raise KeyError(f"unknown node {node_id}")
+        self._handlers[node_id] = handler
+
+    def detach(self, node_id: int) -> None:
+        """Unregister a handler (process shutdown)."""
+        self._handlers.pop(node_id, None)
+
+    # -- transmission -------------------------------------------------------------
+
+    def broadcast(
+        self, src: int, kind: str, payload: Any, size_units: float = 1.0
+    ) -> int:
+        """One radio transmission delivered to every alive neighbour.
+
+        Returns the number of scheduled deliveries (post-loss).  A dead
+        source transmits nothing.
+        """
+        node = self.network.node(src)
+        if not node.alive:
+            return 0
+        self._charge_tx(src, size_units, kind)
+        packet = Packet(src=src, kind=kind, payload=payload, size_units=size_units)
+        delivered = 0
+        for nbr in self.network.neighbors(src):
+            if self._deliver(packet, nbr):
+                delivered += 1
+        self.stats.record_tx(kind, size_units, delivered)
+        return delivered
+
+    def unicast(
+        self, src: int, dst: int, kind: str, payload: Any, size_units: float = 1.0
+    ) -> bool:
+        """Addressed transmission to a one-hop neighbour.
+
+        Raises :class:`ValueError` if ``dst`` is not a neighbour of
+        ``src`` — multi-hop forwarding is a protocol concern
+        (``repro.runtime.routing``), not a radio capability.  Returns
+        whether delivery was scheduled (False = lost or dead receiver).
+        """
+        node = self.network.node(src)
+        if not node.alive:
+            return False
+        if dst not in self.network.neighbors(src, alive_only=False):
+            raise ValueError(f"{dst} is not a one-hop neighbour of {src}")
+        self._charge_tx(src, size_units, kind)
+        packet = Packet(
+            src=src, kind=kind, payload=payload, size_units=size_units, dst=dst
+        )
+        ok = self._deliver(packet, dst)
+        self.stats.record_tx(kind, size_units, 1 if ok else 0)
+        return ok
+
+    # -- internals ---------------------------------------------------------------
+
+    def _charge_tx(self, src: int, size_units: float, kind: str) -> None:
+        energy = self.cost_model.tx_energy(size_units)
+        self.network.node(src).draw(energy)
+        self.ledger.charge(src, energy, f"tx:{kind}")
+
+    def _deliver(self, packet: Packet, receiver: int) -> bool:
+        if not self.network.node(receiver).alive:
+            return False
+        if self.loss_rate > 0.0 and self.rng.random() < self.loss_rate:
+            self.stats.record_drop(packet.kind)
+            return False
+        delay = self.cost_model.tx_latency(packet.size_units)
+        if self.jitter > 0.0:
+            delay += float(self.rng.uniform(0.0, self.jitter))
+        self.sim.schedule(delay, lambda: self._arrive(packet, receiver))
+        return True
+
+    def _arrive(self, packet: Packet, receiver: int) -> None:
+        node = self.network.node(receiver)
+        if not node.alive:  # died in flight
+            return
+        energy = self.cost_model.rx_energy(packet.size_units)
+        node.draw(energy)
+        self.ledger.charge(receiver, energy, f"rx:{packet.kind}")
+        self.stats.record_rx(packet.kind, packet.size_units)
+        handler = self._handlers.get(receiver)
+        if handler is not None:
+            handler(packet)

@@ -1,0 +1,142 @@
+"""Per-node reactive processes.
+
+Each physical node runs a :class:`Process`: a reactive object with
+``on_start`` / ``on_packet`` / ``on_timer`` hooks, mirroring the
+event-driven programming model the paper synthesizes to (Section 4.3).
+The :class:`ProcessHost` owns the processes of a whole network, wires them
+to the :class:`~repro.simulator.network.WirelessMedium`, and provides the
+timer facility.
+
+Protocol implementations (``repro.runtime``) subclass :class:`Process`;
+the full-stack executor additionally hosts the *synthesized rule programs*
+inside a process on elected leader nodes.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Any, Dict, Iterable, List, Optional
+
+from .engine import EventHandle, Simulator
+from .network import Packet, WirelessMedium
+
+
+class Process(abc.ABC):
+    """Base class for node-resident protocol logic.
+
+    Subclasses implement the reactive hooks; the host injects ``sim``,
+    ``medium``, and ``node_id`` before :meth:`on_start` runs, so hooks can
+    freely use the transmission and timer helpers.
+    """
+
+    sim: Simulator
+    medium: WirelessMedium
+    node_id: int
+
+    def __init__(self) -> None:
+        self._timers: List[EventHandle] = []
+
+    # -- lifecycle hooks -----------------------------------------------------
+
+    def on_start(self) -> None:
+        """Called once when the host starts the simulation."""
+
+    def on_packet(self, packet: Packet) -> None:
+        """Called on every packet arrival addressed to (or overheard by)
+        this node."""
+
+    def on_timer(self, tag: Any) -> None:
+        """Called when a timer set via :meth:`set_timer` expires."""
+
+    # -- helpers ----------------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Current simulation time."""
+        return self.sim.now
+
+    @property
+    def alive(self) -> bool:
+        """Whether the underlying physical node is alive."""
+        return self.medium.network.node(self.node_id).alive
+
+    def broadcast(self, kind: str, payload: Any, size_units: float = 1.0) -> int:
+        """Radio-broadcast to all one-hop neighbours."""
+        return self.medium.broadcast(self.node_id, kind, payload, size_units)
+
+    def unicast(
+        self, dst: int, kind: str, payload: Any, size_units: float = 1.0
+    ) -> bool:
+        """Addressed transmission to one neighbour."""
+        return self.medium.unicast(self.node_id, dst, kind, payload, size_units)
+
+    def set_timer(self, delay: float, tag: Any = None) -> EventHandle:
+        """Schedule :meth:`on_timer` after ``delay`` (cancellable)."""
+
+        def fire() -> None:
+            if self.alive:
+                self.on_timer(tag)
+
+        handle = self.sim.schedule(delay, fire)
+        self._timers.append(handle)
+        return handle
+
+    def cancel_timers(self) -> None:
+        """Cancel every outstanding timer of this process."""
+        for handle in self._timers:
+            handle.cancel()
+        self._timers.clear()
+
+
+class ProcessHost:
+    """Binds one :class:`Process` to every node of a network.
+
+    Parameters
+    ----------
+    sim, medium:
+        The engine and channel the processes share.
+    """
+
+    def __init__(self, sim: Simulator, medium: WirelessMedium):
+        self.sim = sim
+        self.medium = medium
+        self.processes: Dict[int, Process] = {}
+
+    def add(self, node_id: int, process: Process) -> Process:
+        """Install ``process`` on ``node_id`` and wire its radio."""
+        if node_id in self.processes:
+            raise ValueError(f"node {node_id} already hosts a process")
+        process.sim = self.sim
+        process.medium = self.medium
+        process.node_id = node_id
+        self.processes[node_id] = process
+
+        def handler(packet: Packet) -> None:
+            if self.medium.network.node(node_id).alive:
+                process.on_packet(packet)
+
+        self.medium.attach(node_id, handler)
+        return process
+
+    def add_all(self, factory, node_ids: Optional[Iterable[int]] = None) -> None:
+        """Install ``factory(node_id)`` on every (alive) node."""
+        ids = node_ids if node_ids is not None else self.medium.network.alive_ids()
+        for nid in ids:
+            self.add(nid, factory(nid))
+
+    def start(self, stagger: float = 0.0) -> None:
+        """Schedule every process's ``on_start`` at t=now (optionally
+        staggered by ``stagger`` per node id, modelling asynchronous
+        boot)."""
+        for i, (nid, proc) in enumerate(sorted(self.processes.items())):
+            delay = stagger * i
+
+            def boot(p: Process = proc, node: int = nid) -> None:
+                if self.medium.network.node(node).alive:
+                    p.on_start()
+
+            self.sim.schedule(delay, boot)
+
+    def get(self, node_id: int) -> Process:
+        """The process installed on ``node_id``."""
+        return self.processes[node_id]

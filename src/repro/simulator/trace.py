@@ -1,0 +1,91 @@
+"""Simulation statistics and tracing.
+
+:class:`MediumStats` aggregates the channel-level counters every experiment
+reports (messages, data units, drops, per-protocol breakdowns);
+:class:`EventTrace` is an optional structured log for debugging protocol
+runs and for the convergence-time measurements of experiments E4/E5.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+
+@dataclass
+class MediumStats:
+    """Channel counters maintained by the wireless medium."""
+
+    transmissions: int = 0
+    deliveries: int = 0
+    drops: int = 0
+    data_units_sent: float = 0.0
+    data_units_received: float = 0.0
+    by_kind_tx: Dict[str, int] = field(default_factory=dict)
+    by_kind_rx: Dict[str, int] = field(default_factory=dict)
+    by_kind_drop: Dict[str, int] = field(default_factory=dict)
+
+    def record_tx(self, kind: str, size_units: float, deliveries: int) -> None:
+        """One transmission of ``kind`` reaching ``deliveries`` receivers."""
+        self.transmissions += 1
+        self.data_units_sent += size_units
+        self.by_kind_tx[kind] = self.by_kind_tx.get(kind, 0) + 1
+        self.deliveries += deliveries
+
+    def record_rx(self, kind: str, size_units: float) -> None:
+        """One packet arrival."""
+        self.data_units_received += size_units
+        self.by_kind_rx[kind] = self.by_kind_rx.get(kind, 0) + 1
+
+    def record_drop(self, kind: str) -> None:
+        """One lost packet."""
+        self.drops += 1
+        self.by_kind_drop[kind] = self.by_kind_drop.get(kind, 0) + 1
+
+    def tx_of_kind(self, kind: str) -> int:
+        """Transmissions tagged ``kind``."""
+        return self.by_kind_tx.get(kind, 0)
+
+    def summary(self) -> Dict[str, float]:
+        """Flat dictionary for benchmark rows."""
+        return {
+            "transmissions": float(self.transmissions),
+            "deliveries": float(self.deliveries),
+            "drops": float(self.drops),
+            "data_units_sent": self.data_units_sent,
+        }
+
+
+@dataclass
+class TraceRecord:
+    """One structured trace entry: (time, node, event, detail)."""
+
+    time: float
+    node: int
+    event: str
+    detail: Any = None
+
+
+class EventTrace:
+    """Append-only structured log with simple query helpers."""
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = enabled
+        self.records: List[TraceRecord] = []
+
+    def log(self, time: float, node: int, event: str, detail: Any = None) -> None:
+        """Append a record (no-op when disabled)."""
+        if self.enabled:
+            self.records.append(TraceRecord(time, node, event, detail))
+
+    def of_event(self, event: str) -> List[TraceRecord]:
+        """All records with a given event tag."""
+        return [r for r in self.records if r.event == event]
+
+    def last_time(self, event: Optional[str] = None) -> float:
+        """Timestamp of the last (matching) record; 0.0 if none."""
+        matching = self.records if event is None else self.of_event(event)
+        return matching[-1].time if matching else 0.0
+
+    def __len__(self) -> int:
+        return len(self.records)

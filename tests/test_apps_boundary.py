@@ -1,0 +1,217 @@
+"""Unit tests for boundary summaries and the merge accumulator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.apps.boundary import (
+    MergeAccumulator,
+    RegionSummary,
+    cell_summary,
+    empty_summary,
+    extent_cells_on_perimeter,
+    extent_contains,
+    extents_disjoint,
+)
+from repro.apps.regions import label_regions_quadtree
+
+
+class TestExtentHelpers:
+    def test_perimeter_of_1x1(self):
+        assert extent_cells_on_perimeter((2, 3, 1, 1)) == {(2, 3)}
+
+    def test_perimeter_of_3x3(self):
+        ring = extent_cells_on_perimeter((0, 0, 3, 3))
+        assert len(ring) == 8
+        assert (1, 1) not in ring
+
+    def test_perimeter_of_row(self):
+        ring = extent_cells_on_perimeter((0, 0, 4, 1))
+        assert len(ring) == 4
+
+    def test_contains(self):
+        assert extent_contains((1, 1, 2, 2), (2, 2))
+        assert not extent_contains((1, 1, 2, 2), (3, 1))
+
+    def test_disjoint(self):
+        assert extents_disjoint((0, 0, 2, 2), (2, 0, 2, 2))
+        assert not extents_disjoint((0, 0, 2, 2), (1, 1, 2, 2))
+
+
+class TestCellSummary:
+    def test_feature_cell(self):
+        s = cell_summary((3, 1), True)
+        assert s.total_regions() == 1
+        assert s.open_count == 1
+        assert s.all_areas() == [1]
+        assert s.perimeter == (((3, 1), 0),)
+
+    def test_non_feature_cell(self):
+        s = cell_summary((3, 1), False)
+        assert s.total_regions() == 0
+        assert s.size_units == 1.0  # header only
+
+    def test_empty_summary(self):
+        s = empty_summary((0, 0, 4, 4))
+        assert s.total_regions() == 0
+        assert s.perimeter == ()
+
+
+class TestSummaryValidation:
+    def test_closed_count_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            RegionSummary(
+                extent=(0, 0, 1, 1),
+                perimeter=(),
+                open_areas=(),
+                closed_count=1,
+                closed_areas=(),
+            )
+
+    def test_non_canonical_labels_rejected(self):
+        with pytest.raises(ValueError):
+            RegionSummary(
+                extent=(0, 0, 1, 1),
+                perimeter=(((0, 0), 5),),
+                open_areas=(1,),
+                closed_count=0,
+                closed_areas=(),
+            )
+
+    def test_size_units(self):
+        s = RegionSummary(
+            extent=(0, 0, 2, 2),
+            perimeter=(((0, 0), 0), ((1, 0), 0)),
+            open_areas=(2,),
+            closed_count=0,
+            closed_areas=(),
+        )
+        assert s.size_units == 3.0
+
+    def test_label_of(self):
+        s = cell_summary((0, 0), True)
+        assert s.label_of((0, 0)) == 0
+        assert s.label_of((1, 1)) is None
+
+
+class TestMergeAccumulator:
+    def _quad(self, pattern):
+        """Merge four 1x1 children given a 2x2 bool pattern[y][x]."""
+        acc = MergeAccumulator((0, 0, 2, 2))
+        for y in (0, 1):
+            for x in (0, 1):
+                acc.add(cell_summary((x, y), pattern[y][x]))
+        return acc.finalize()
+
+    def test_horizontal_stitch(self):
+        s = self._quad([[True, True], [False, False]])
+        assert s.total_regions() == 1
+        assert s.all_areas() == [2]
+
+    def test_vertical_stitch(self):
+        s = self._quad([[True, False], [True, False]])
+        assert s.total_regions() == 1
+
+    def test_diagonal_not_connected(self):
+        s = self._quad([[True, False], [False, True]])
+        assert s.total_regions() == 2
+
+    def test_full_block(self):
+        s = self._quad([[True, True], [True, True]])
+        assert s.total_regions() == 1
+        assert s.all_areas() == [4]
+
+    def test_empty_block(self):
+        s = self._quad([[False, False], [False, False]])
+        assert s.total_regions() == 0
+
+    def test_any_arrival_order_same_result(self):
+        import itertools
+
+        children = [cell_summary((x, y), (x + y) % 2 == 0) for x in (0, 1) for y in (0, 1)]
+        results = set()
+        for perm in itertools.permutations(children):
+            acc = MergeAccumulator((0, 0, 2, 2))
+            for c in perm:
+                acc.add(c)
+            results.add(acc.finalize())
+        assert len(results) == 1  # canonical summary is order-independent
+
+    def test_finalize_requires_complete_tiling(self):
+        acc = MergeAccumulator((0, 0, 2, 2))
+        acc.add(cell_summary((0, 0), True))
+        assert not acc.is_complete()
+        with pytest.raises(ValueError, match="cannot finalize"):
+            acc.finalize()
+
+    def test_overlapping_child_rejected(self):
+        acc = MergeAccumulator((0, 0, 2, 2))
+        acc.add(cell_summary((0, 0), True))
+        with pytest.raises(ValueError, match="overlaps"):
+            acc.add(cell_summary((0, 0), False))
+
+    def test_out_of_extent_child_rejected(self):
+        acc = MergeAccumulator((0, 0, 2, 2))
+        with pytest.raises(ValueError, match="not contained"):
+            acc.add(cell_summary((5, 5), True))
+
+    def test_degenerate_extent_rejected(self):
+        with pytest.raises(ValueError):
+            MergeAccumulator((0, 0, 0, 2))
+
+    def test_hierarchical_merge_of_quadrant_summaries(self):
+        # merge four 2x2 summaries into a 4x4: a ring around the border
+        feat = np.ones((4, 4), dtype=bool)
+        feat[1:3, 1:3] = False
+        quadrants = []
+        for y0 in (0, 2):
+            for x0 in (0, 2):
+                acc = MergeAccumulator((x0, y0, 2, 2))
+                for dy in (0, 1):
+                    for dx in (0, 1):
+                        acc.add(
+                            cell_summary(
+                                (x0 + dx, y0 + dy), bool(feat[y0 + dy, x0 + dx])
+                            )
+                        )
+                quadrants.append(acc.finalize())
+        top = MergeAccumulator((0, 0, 4, 4))
+        for q in quadrants:
+            top.add(q)
+        s = top.finalize()
+        assert s.total_regions() == 1
+        assert s.all_areas() == [12]
+
+    def test_interior_region_closes(self):
+        # a plus-shape inside 4x4 that never touches the outer ring
+        feat = np.zeros((4, 4), dtype=bool)
+        feat[1, 1] = feat[1, 2] = feat[2, 1] = feat[2, 2] = True
+        s = label_regions_quadtree(feat)
+        assert s.closed_count == 1
+        assert s.open_count == 0
+        assert s.closed_areas == (4,)
+
+    def test_region_touching_border_stays_open(self):
+        feat = np.zeros((4, 4), dtype=bool)
+        feat[0, 0] = True
+        s = label_regions_quadtree(feat)
+        assert s.closed_count == 0
+        assert s.open_count == 1
+
+
+class TestCompression:
+    def test_summary_smaller_than_raw_for_blobs(self):
+        # a big solid blob: perimeter grows like side, area like side^2
+        side = 16
+        feat = np.ones((side, side), dtype=bool)
+        s = label_regions_quadtree(feat)
+        assert s.size_units < side * side  # compressed vs raw collection
+        assert s.size_units == 4 * side - 4 + 1  # ring + header
+
+    def test_checkerboard_is_incompressible(self):
+        side = 8
+        feat = (np.indices((side, side)).sum(axis=0) % 2 == 0)
+        s = label_regions_quadtree(feat)
+        # every boundary cell of the grid ring that is a feature appears
+        assert s.open_count + s.closed_count == 32

@@ -1,0 +1,184 @@
+"""Unit tests for synthetic fields and the reference oracles."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.apps.fields import (
+    CompositeField,
+    GaussianBlobField,
+    GradientField,
+    NoisyField,
+    PlateauField,
+    StripeField,
+    UniformField,
+    feature_function,
+    random_feature_matrix,
+    sample_grid,
+    threshold_features,
+)
+from repro.apps.reference import (
+    boundary_cell_count,
+    count_regions,
+    feature_fraction,
+    label_components,
+    region_areas,
+)
+
+
+class TestFields:
+    def test_uniform(self):
+        f = UniformField(3.0)
+        assert f.value(0.2, 0.9) == 3.0
+
+    def test_gaussian_peak_at_center(self):
+        f = GaussianBlobField([(0.5, 0.5, 0.1, 2.0)])
+        assert f.value(0.5, 0.5) == pytest.approx(2.0)
+        assert f.value(0.0, 0.0) < 0.01
+
+    def test_gaussian_rejects_bad_sigma(self):
+        with pytest.raises(ValueError):
+            GaussianBlobField([(0.5, 0.5, 0.0, 1.0)])
+
+    def test_gradient_monotone(self):
+        f = GradientField(0.0, 1.0, angle=0.0)
+        assert f.value(0.0, 0.5) < f.value(0.5, 0.5) < f.value(1.0, 0.5)
+        assert f.value(1.0, 0.3) == pytest.approx(1.0)
+
+    def test_gradient_diagonal(self):
+        f = GradientField(0.0, 1.0, angle=math.pi / 4)
+        assert f.value(1.0, 1.0) == pytest.approx(1.0)
+        assert f.value(0.0, 0.0) == pytest.approx(0.0)
+
+    def test_plateau_override(self):
+        f = PlateauField(
+            [(0.0, 0.0, 0.5, 0.5, 1.0), (0.25, 0.25, 0.5, 0.5, 2.0)],
+            background=0.1,
+        )
+        assert f.value(0.9, 0.9) == 0.1
+        assert f.value(0.1, 0.1) == 1.0
+        assert f.value(0.3, 0.3) == 2.0
+
+    def test_stripes(self):
+        f = StripeField(period=0.5, level=1.0, vertical=True)
+        assert f.value(0.1, 0.0) == 1.0
+        assert f.value(0.3, 0.0) == 0.0
+
+    def test_composite_sum(self):
+        f = CompositeField([UniformField(1.0), UniformField(2.0)])
+        assert f.value(0.5, 0.5) == 3.0
+        g = UniformField(1.0) + UniformField(0.5)
+        assert g.value(0, 0) == 1.5
+
+    def test_noise_repeatable(self):
+        f = NoisyField(UniformField(0.0), amplitude=0.5, seed=3)
+        assert f.value(0.25, 0.75) == f.value(0.25, 0.75)
+        assert abs(f.value(0.25, 0.75)) <= 0.5
+
+    def test_noise_rejects_negative_amplitude(self):
+        with pytest.raises(ValueError):
+            NoisyField(UniformField(0.0), amplitude=-1.0)
+
+
+class TestSampling:
+    def test_sample_grid_shape(self):
+        readings = sample_grid(UniformField(2.0), 8)
+        assert readings.shape == (8, 8)
+        assert np.all(readings == 2.0)
+
+    def test_sample_grid_orientation(self):
+        # gradient along +x: readings[y, x] grows with x
+        readings = sample_grid(GradientField(0.0, 1.0, angle=0.0), 4)
+        assert np.all(np.diff(readings, axis=1) > 0)
+
+    def test_sample_rejects_bad_side(self):
+        with pytest.raises(ValueError):
+            sample_grid(UniformField(0.0), 0)
+
+    def test_threshold(self):
+        readings = np.array([[0.2, 0.8], [0.5, 0.4]])
+        feat = threshold_features(readings, 0.5)
+        assert feat.tolist() == [[False, True], [True, False]]
+
+    def test_feature_function_adapter(self):
+        feat = np.array([[False, True], [False, False]])
+        fn = feature_function(feat)
+        assert fn((1, 0)) is True  # x=1, y=0 -> feat[0, 1]
+        assert fn((0, 1)) is False
+
+    def test_random_feature_matrix(self):
+        m = random_feature_matrix(16, 0.3, rng=5)
+        assert m.shape == (16, 16)
+        assert 0.1 < m.mean() < 0.5
+
+    def test_random_density_validation(self):
+        with pytest.raises(ValueError):
+            random_feature_matrix(4, 1.5)
+
+
+class TestReferenceLabeling:
+    def test_empty(self):
+        feat = np.zeros((4, 4), dtype=bool)
+        labels, count = label_components(feat)
+        assert count == 0
+        assert labels.sum() == 0
+
+    def test_full(self):
+        feat = np.ones((4, 4), dtype=bool)
+        _, count = label_components(feat)
+        assert count == 1
+
+    def test_two_regions(self):
+        feat = np.zeros((4, 4), dtype=bool)
+        feat[0, 0] = True
+        feat[3, 3] = True
+        labels, count = label_components(feat)
+        assert count == 2
+        assert labels[0, 0] != labels[3, 3]
+
+    def test_diagonal_is_separate(self):
+        feat = np.eye(4, dtype=bool)
+        assert count_regions(feat) == 4
+
+    def test_l_shape_connected(self):
+        feat = np.zeros((3, 3), dtype=bool)
+        feat[0, :] = True
+        feat[:, 0] = True
+        assert count_regions(feat) == 1
+
+    def test_region_areas(self):
+        feat = np.zeros((4, 4), dtype=bool)
+        feat[0, 0:2] = True
+        feat[3, 3] = True
+        assert region_areas(feat) == [1, 2]
+
+    def test_matches_scipy(self):
+        from scipy import ndimage
+
+        rng = np.random.default_rng(9)
+        for _ in range(25):
+            feat = rng.random((12, 12)) < 0.5
+            _, ours = label_components(feat)
+            _, theirs = ndimage.label(feat)  # default structure = 4-conn
+            assert ours == theirs
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(ValueError):
+            label_components(np.zeros(4, dtype=bool))
+
+    def test_feature_fraction(self):
+        feat = np.zeros((2, 2), dtype=bool)
+        feat[0, 0] = True
+        assert feature_fraction(feat) == 0.25
+
+    def test_boundary_cell_count_solid(self):
+        feat = np.ones((4, 4), dtype=bool)
+        assert boundary_cell_count(feat) == 12  # the ring
+
+    def test_boundary_cell_count_single(self):
+        feat = np.zeros((4, 4), dtype=bool)
+        feat[1, 1] = True
+        assert boundary_cell_count(feat) == 1

@@ -1,0 +1,134 @@
+"""Unit + property tests for the flood-fill baseline."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.floodfill import compare_three_designs, run_floodfill
+from repro.apps.reference import count_regions, region_areas
+from repro.apps import random_feature_matrix
+
+
+class TestFloodFillCorrectness:
+    def test_empty(self):
+        result = run_floodfill(np.zeros((4, 4), dtype=bool))
+        assert result.regions == 0
+        assert result.rounds == 0
+        assert result.messages == 0
+
+    def test_single_cell(self):
+        feat = np.zeros((4, 4), dtype=bool)
+        feat[2, 1] = True
+        result = run_floodfill(feat)
+        assert result.regions == 1
+        assert result.areas() == [1]
+
+    def test_solid_block(self):
+        feat = np.ones((8, 8), dtype=bool)
+        result = run_floodfill(feat)
+        assert result.regions == 1
+        assert result.areas() == [64]
+
+    def test_checkerboard(self):
+        feat = np.indices((8, 8)).sum(axis=0) % 2 == 0
+        result = run_floodfill(feat)
+        assert result.regions == 32
+
+    def test_matches_reference_on_random(self):
+        rng = np.random.default_rng(3)
+        for _ in range(15):
+            feat = random_feature_matrix(8, float(rng.uniform(0.2, 0.8)), rng)
+            result = run_floodfill(feat)
+            assert result.regions == count_regions(feat)
+            assert result.areas() == region_areas(feat)
+
+    @given(st.integers(min_value=0, max_value=2**16 - 1))
+    @settings(max_examples=60, deadline=None)
+    def test_property_matches_reference(self, bits):
+        feat = np.array(
+            [(bits >> i) & 1 for i in range(16)], dtype=bool
+        ).reshape(4, 4)
+        result = run_floodfill(feat)
+        assert result.regions == count_regions(feat)
+        assert result.areas() == region_areas(feat)
+
+    def test_labels_are_region_minima(self):
+        feat = np.zeros((4, 4), dtype=bool)
+        feat[0, :] = True  # top row: one region, min Morton id = id of (0,0)=0
+        result = run_floodfill(feat)
+        assert set(result.labels.values()) == {0}
+
+    def test_rejects_non_square(self):
+        with pytest.raises(ValueError):
+            run_floodfill(np.zeros((2, 4), dtype=bool))
+
+
+class TestFloodFillCosts:
+    def test_rounds_bounded_by_region_diameter(self):
+        # a full row: the label of (0,y) must travel side-1 hops
+        side = 8
+        feat = np.zeros((side, side), dtype=bool)
+        feat[0, :] = True
+        result = run_floodfill(feat)
+        assert side - 1 <= result.rounds <= side + 1
+
+    def test_serpentine_worst_case(self):
+        # snake region: path length ~N, far beyond the quad-tree's O(sqrt N)
+        side = 8
+        feat = np.zeros((side, side), dtype=bool)
+        for y in range(side):
+            feat[y, :] = True if y % 2 == 0 else False
+            if y % 2 == 1:
+                feat[y, 0 if (y // 2) % 2 == 1 else side - 1] = True
+        result = run_floodfill(feat)
+        assert result.regions == count_regions(feat)
+        assert result.rounds > 2 * side  # super-sqrt scaling on the snake
+
+    def test_energy_grows_with_density(self):
+        lo = run_floodfill(random_feature_matrix(8, 0.2, rng=1))
+        hi = run_floodfill(random_feature_matrix(8, 0.8, rng=1))
+        assert hi.ledger.total > lo.ledger.total
+
+    def test_deterministic(self):
+        feat = random_feature_matrix(8, 0.5, rng=5)
+        a = run_floodfill(feat)
+        b = run_floodfill(feat)
+        assert a.regions == b.regions
+        assert a.rounds == b.rounds
+        assert a.ledger.per_node() == b.ledger.per_node()
+
+
+class TestThreeWayComparison:
+    def test_all_designs_agree_on_regions(self):
+        feat = random_feature_matrix(8, 0.45, rng=7)
+        rows = compare_three_designs(feat)
+        counts = {r["regions"] for r in rows.values()}
+        assert counts == {float(count_regions(feat))}
+
+    def test_quadtree_beats_floodfill_on_snake(self):
+        # the serpentine region is flood-fill's worst case: its round count
+        # tracks the region diameter (~N/2), far beyond the quad-tree's
+        # 2(side-1) hop-steps, and label chatter costs more total energy
+        side = 16
+        feat = np.zeros((side, side), dtype=bool)
+        for y in range(side):
+            if y % 2 == 0:
+                feat[y, :] = True
+            else:
+                feat[y, 0 if (y // 2) % 2 == 1 else side - 1] = True
+        flood = run_floodfill(feat)
+        assert flood.rounds > 2 * (side - 1)  # worse than quad-tree steps
+        rows = compare_three_designs(feat)
+        assert rows["quad-tree"]["total_energy"] < rows["flood-fill"]["total_energy"]
+
+    def test_floodfill_has_no_hierarchy_hotspot(self):
+        feat = random_feature_matrix(16, 0.4, rng=9)
+        rows = compare_three_designs(feat)
+        # label propagation load is local: hot spot well below centralized's
+        assert (
+            rows["flood-fill"]["max_node_energy"]
+            < rows["centralized"]["max_node_energy"]
+        )

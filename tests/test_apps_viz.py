@@ -1,0 +1,134 @@
+"""Unit tests for the ASCII visualization helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.apps.viz import (
+    LABEL_CHARS,
+    render_band_map,
+    render_deployment,
+    render_energy_map,
+    render_feature_map,
+    render_group_blocks,
+    render_label_map,
+)
+from repro.core import HierarchicalGroups, OrientedGrid
+
+from conftest import make_deployment
+
+
+class TestFeatureMap:
+    def test_dimensions(self):
+        feat = np.zeros((3, 5), dtype=bool)
+        lines = render_feature_map(feat).splitlines()
+        assert len(lines) == 3
+        assert all(len(line) == 5 for line in lines)
+
+    def test_marks(self):
+        feat = np.zeros((2, 2), dtype=bool)
+        feat[0, 1] = True
+        assert render_feature_map(feat) == ".#\n.."
+
+    def test_custom_chars(self):
+        feat = np.ones((1, 2), dtype=bool)
+        assert render_feature_map(feat, on="X", off="_") == "XX"
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(ValueError):
+            render_feature_map(np.zeros(4, dtype=bool))
+
+
+class TestLabelMap:
+    def test_distinct_regions_distinct_chars(self):
+        feat = np.zeros((3, 3), dtype=bool)
+        feat[0, 0] = True
+        feat[2, 2] = True
+        text = render_label_map(feat)
+        assert text[0] == "1"
+        assert text.splitlines()[2][2] == "2"
+
+    def test_connected_region_single_char(self):
+        feat = np.ones((2, 2), dtype=bool)
+        assert render_label_map(feat) == "11\n11"
+
+    def test_background(self):
+        feat = np.zeros((2, 2), dtype=bool)
+        assert render_label_map(feat, background="o") == "oo\noo"
+
+
+class TestBandMap:
+    def test_band_chars(self):
+        readings = np.array([[0.0, 5.0], [10.0, 15.0]])
+        text = render_band_map(readings, [4.0, 12.0])
+        assert text == f"{LABEL_CHARS[0]}{LABEL_CHARS[1]}\n{LABEL_CHARS[1]}{LABEL_CHARS[2]}"
+
+    def test_rejects_unsorted_edges(self):
+        with pytest.raises(ValueError):
+            render_band_map(np.zeros((2, 2)), [2.0, 1.0])
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(ValueError):
+            render_band_map(np.zeros(4), [1.0])
+
+
+class TestDeploymentMap:
+    def test_contains_nodes_and_grid(self):
+        net = make_deployment(side=4, seed=7)
+        text = render_deployment(net)
+        assert "*" in text
+        assert "|" in text and "-" in text
+
+    def test_leaders_marked(self):
+        from repro.runtime import bind_processes
+
+        net = make_deployment(side=4, seed=7)
+        binding = bind_processes(net).binding
+        text = render_deployment(net, leaders=binding.leaders)
+        assert text.count("L") >= 1
+
+    def test_dead_nodes_marked(self):
+        net = make_deployment(side=4, seed=7)
+        net.node(net.node_ids()[0]).kill()
+        text = render_deployment(net)
+        assert "x" in text
+
+
+class TestGroupBlocks:
+    def test_level1_blocks(self):
+        groups = HierarchicalGroups(OrientedGrid(4))
+        text = render_group_blocks(groups, 1)
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert text.count("L") == 4  # one leader per 2x2 block
+
+    def test_level0_all_leaders(self):
+        groups = HierarchicalGroups(OrientedGrid(2))
+        text = render_group_blocks(groups, 0)
+        assert text == "LL\nLL"
+
+
+class TestEnergyMap:
+    def test_hot_spot_densest_char(self):
+        per = {(0, 0): 10.0, (1, 0): 1.0, (0, 1): 0.0, (1, 1): 5.0}
+        text = render_energy_map(per, side=2, levels=" .#")
+        assert text.splitlines()[0][0] == "#"
+        assert text.splitlines()[1][0] == " "
+
+    def test_all_zero(self):
+        text = render_energy_map({}, side=2)
+        assert set(text) <= {" ", "\n"}
+
+    def test_rejects_bad_side(self):
+        with pytest.raises(ValueError):
+            render_energy_map({}, side=0)
+
+    def test_renders_executor_output(self):
+        from repro.core import CountAggregation, VirtualArchitecture
+
+        va = VirtualArchitecture(8)
+        result = va.execute(CountAggregation(lambda c: True), charge_compute=False)
+        text = render_energy_map(result.ledger.per_node(), side=8)
+        lines = text.splitlines()
+        assert len(lines) == 8 and all(len(l) == 8 for l in lines)

@@ -1,0 +1,30 @@
+"""Unit tests for the ``python -m repro`` demo entry point."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.__main__ import main
+
+
+class TestCli:
+    def test_default_run_succeeds(self, capsys):
+        assert main([]) == 0
+        out = capsys.readouterr().out
+        assert "MATCH" in out
+        assert "labeled regions" in out
+
+    def test_custom_side(self, capsys):
+        assert main(["8"]) == 0
+        out = capsys.readouterr().out
+        assert "8x8" in out
+
+    def test_custom_threshold(self, capsys):
+        assert main(["8", "99.0"]) == 0  # no regions, still correct
+        out = capsys.readouterr().out
+        assert "0 regions" in out
+
+    def test_rejects_non_power_of_two(self, capsys):
+        assert main(["6"]) == 2
+        err = capsys.readouterr().err
+        assert "power of two" in err

@@ -1,0 +1,210 @@
+"""Unit tests for repro.core.coords: directions, distances, Morton order."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.coords import (
+    ALL_DIRECTIONS,
+    Direction,
+    block_leader,
+    block_members,
+    chebyshev,
+    coords_in_rect,
+    direction_between,
+    ilog2,
+    is_power_of_two,
+    manhattan,
+    morton_decode,
+    morton_encode,
+    morton_order,
+    neighbors4,
+    validate_coord,
+    xy_route,
+)
+
+
+class TestDirection:
+    def test_four_directions(self):
+        assert len(ALL_DIRECTIONS) == 4
+        assert {d.value for d in ALL_DIRECTIONS} == {
+            (0, -1),
+            (0, 1),
+            (1, 0),
+            (-1, 0),
+        }
+
+    def test_north_decreases_y(self):
+        assert Direction.NORTH.step((3, 3)) == (3, 2)
+
+    def test_south_increases_y(self):
+        assert Direction.SOUTH.step((3, 3)) == (3, 4)
+
+    def test_east_increases_x(self):
+        assert Direction.EAST.step((3, 3)) == (4, 3)
+
+    def test_west_decreases_x(self):
+        assert Direction.WEST.step((3, 3)) == (2, 3)
+
+    def test_opposites(self):
+        for d in ALL_DIRECTIONS:
+            assert d.opposite.opposite is d
+            assert d.opposite.step(d.step((0, 0))) == (0, 0)
+
+    def test_step_distance(self):
+        assert Direction.EAST.step((1, 1), 5) == (6, 1)
+
+    def test_direction_between(self):
+        assert direction_between((2, 2), (2, 1)) is Direction.NORTH
+        assert direction_between((2, 2), (3, 2)) is Direction.EAST
+
+    def test_direction_between_rejects_non_adjacent(self):
+        with pytest.raises(ValueError):
+            direction_between((0, 0), (2, 0))
+        with pytest.raises(ValueError):
+            direction_between((0, 0), (1, 1))
+        with pytest.raises(ValueError):
+            direction_between((0, 0), (0, 0))
+
+
+class TestDistances:
+    def test_manhattan_basic(self):
+        assert manhattan((0, 0), (3, 4)) == 7
+        assert manhattan((3, 4), (0, 0)) == 7
+
+    def test_manhattan_zero(self):
+        assert manhattan((5, 5), (5, 5)) == 0
+
+    def test_chebyshev(self):
+        assert chebyshev((0, 0), (3, 4)) == 4
+        assert chebyshev((1, 1), (1, 9)) == 8
+
+    def test_neighbors4(self):
+        assert set(neighbors4((2, 2))) == {(2, 1), (2, 3), (3, 2), (1, 2)}
+
+
+class TestXYRoute:
+    def test_route_endpoints_and_length(self):
+        path = xy_route((0, 0), (3, 2))
+        assert path[0] == (0, 0)
+        assert path[-1] == (3, 2)
+        assert len(path) == manhattan((0, 0), (3, 2)) + 1
+
+    def test_route_moves_x_first(self):
+        path = xy_route((0, 0), (2, 2))
+        assert path == [(0, 0), (1, 0), (2, 0), (2, 1), (2, 2)]
+
+    def test_route_westward(self):
+        path = xy_route((3, 1), (1, 0))
+        assert path == [(3, 1), (2, 1), (1, 1), (1, 0)]
+
+    def test_route_to_self(self):
+        assert xy_route((2, 2), (2, 2)) == [(2, 2)]
+
+    def test_route_steps_are_adjacent(self):
+        path = xy_route((5, 1), (0, 7))
+        for a, b in zip(path, path[1:]):
+            assert manhattan(a, b) == 1
+
+
+class TestMorton:
+    def test_figure3_numbering(self):
+        # The 4x4 layout printed in Figure 3 of the paper.
+        expected = {
+            (0, 0): 0, (1, 0): 1, (0, 1): 2, (1, 1): 3,
+            (2, 0): 4, (3, 0): 5, (2, 1): 6, (3, 1): 7,
+            (0, 2): 8, (1, 2): 9, (0, 3): 10, (1, 3): 11,
+            (2, 2): 12, (3, 2): 13, (2, 3): 14, (3, 3): 15,
+        }
+        for coord, index in expected.items():
+            assert morton_encode(coord) == index
+            assert morton_decode(index) == coord
+
+    def test_roundtrip_large(self):
+        for x in range(0, 200, 7):
+            for y in range(0, 200, 11):
+                assert morton_decode(morton_encode((x, y))) == (x, y)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            morton_encode((-1, 0))
+        with pytest.raises(ValueError):
+            morton_decode(-1)
+
+    def test_morton_order_covers_grid(self):
+        coords = list(morton_order(4))
+        assert len(coords) == 16
+        assert len(set(coords)) == 16
+        assert all(0 <= x < 4 and 0 <= y < 4 for x, y in coords)
+
+    def test_morton_order_requires_power_of_two(self):
+        with pytest.raises(ValueError):
+            list(morton_order(3))
+
+    def test_morton_blocks_are_contiguous(self):
+        # indices 4k..4k+3 always form a 2x2 block
+        for k in range(16):
+            block = [morton_decode(4 * k + i) for i in range(4)]
+            xs = {c[0] for c in block}
+            ys = {c[1] for c in block}
+            assert len(xs) == 2 and len(ys) == 2
+            assert max(xs) - min(xs) == 1 and max(ys) - min(ys) == 1
+
+
+class TestPowersAndBlocks:
+    def test_is_power_of_two(self):
+        assert all(is_power_of_two(2**i) for i in range(12))
+        assert not any(is_power_of_two(v) for v in (0, -1, 3, 6, 12, 100))
+
+    def test_ilog2(self):
+        assert ilog2(1) == 0
+        assert ilog2(64) == 6
+        with pytest.raises(ValueError):
+            ilog2(10)
+
+    def test_block_leader_level0_is_identity(self):
+        assert block_leader((5, 7), 0) == (5, 7)
+
+    def test_block_leader_level1(self):
+        assert block_leader((0, 0), 1) == (0, 0)
+        assert block_leader((1, 1), 1) == (0, 0)
+        assert block_leader((2, 3), 1) == (2, 2)
+
+    def test_block_leader_level2(self):
+        assert block_leader((3, 3), 2) == (0, 0)
+        assert block_leader((5, 2), 2) == (4, 0)
+
+    def test_block_leader_rejects_negative_level(self):
+        with pytest.raises(ValueError):
+            block_leader((0, 0), -1)
+
+    def test_block_members_size(self):
+        members = block_members((0, 0), 2)
+        assert len(members) == 16
+        assert (3, 3) in members and (0, 0) in members
+
+    def test_block_members_requires_corner(self):
+        with pytest.raises(ValueError):
+            block_members((1, 0), 1)
+
+    def test_block_leader_member_consistency(self):
+        for level in (1, 2, 3):
+            for coord in ((0, 0), (3, 5), (7, 7), (6, 1)):
+                leader = block_leader(coord, level)
+                assert coord in block_members(leader, level)
+
+
+class TestHelpers:
+    def test_coords_in_rect(self):
+        cells = list(coords_in_rect(1, 2, 2, 3))
+        assert len(cells) == 6
+        assert cells[0] == (1, 2)
+        assert cells[-1] == (2, 4)
+
+    def test_validate_coord_accepts(self):
+        assert validate_coord((1, 2)) == (1, 2)
+
+    def test_validate_coord_rejects(self):
+        for bad in ([1, 2], (1,), (1, 2, 3), (1.0, 2), "xy", None):
+            with pytest.raises(TypeError):
+                validate_coord(bad)

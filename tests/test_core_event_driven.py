@@ -1,0 +1,171 @@
+"""Unit tests for the event-driven (probabilistic activation) extension."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    CountAggregation,
+    EventDrivenAggregation,
+    HierarchicalGroups,
+    OrientedGrid,
+    execute_round,
+    expected_quadtree_cost,
+    simulate_event_activations,
+    synthesize_quadtree_program,
+)
+from repro.core.analysis import estimate_quadtree
+
+
+def run_with_active(side, active_set):
+    groups = HierarchicalGroups(OrientedGrid(side))
+    agg = EventDrivenAggregation(
+        CountAggregation(lambda c: True), active=lambda c: c in active_set
+    )
+    spec = synthesize_quadtree_program(groups, agg)
+    return execute_round(spec, charge_compute=False)
+
+
+class TestExpectedCost:
+    def test_p1_equals_deterministic(self):
+        for side in (2, 4, 8, 16):
+            exp = expected_quadtree_cost(side, 1.0)
+            det = estimate_quadtree(side)
+            assert exp.expected_messages == det.messages
+            assert exp.expected_hop_units == pytest.approx(det.hop_units)
+            assert exp.expected_energy == pytest.approx(det.total_energy)
+
+    def test_p0_is_free(self):
+        exp = expected_quadtree_cost(8, 0.0)
+        assert exp.expected_messages == 0.0
+        assert exp.expected_energy == 0.0
+
+    def test_monotone_in_p(self):
+        costs = [expected_quadtree_cost(16, p).expected_energy
+                 for p in (0.01, 0.05, 0.2, 0.5, 1.0)]
+        assert costs == sorted(costs)
+        assert costs[0] < costs[-1]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            expected_quadtree_cost(6, 0.5)
+        with pytest.raises(ValueError):
+            expected_quadtree_cost(8, 1.5)
+
+    def test_expectation_matches_monte_carlo(self):
+        side, p = 8, 0.15
+        rng = np.random.default_rng(5)
+        exp = expected_quadtree_cost(side, p)
+        trials = 120
+        total_energy = 0.0
+        for _ in range(trials):
+            active = {
+                (x, y)
+                for x in range(side)
+                for y in range(side)
+                if rng.random() < p
+            }
+            result = run_with_active(side, active)
+            # count only energy of non-empty payloads: size-0 messages
+            total_energy += result.ledger.total
+        mean = total_energy / trials
+        assert mean == pytest.approx(exp.expected_energy, rel=0.15)
+
+
+class TestEventDrivenAggregation:
+    def test_all_active_matches_plain(self):
+        side = 8
+        active = {(x, y) for x in range(side) for y in range(side)}
+        result = run_with_active(side, active)
+        assert result.root_payload == side * side
+
+    def test_counts_only_active(self):
+        active = {(0, 0), (3, 3), (7, 1)}
+        result = run_with_active(8, active)
+        assert result.root_payload == 3
+
+    def test_no_events_yields_none(self):
+        result = run_with_active(8, set())
+        assert result.root_payload is None
+        assert result.ledger.total == 0.0  # all messages size 0
+
+    def test_silent_subtrees_cost_nothing(self):
+        # one active corner: only its spine to the root carries data
+        result_one = run_with_active(8, {(7, 7)})
+        result_all = run_with_active(
+            8, {(x, y) for x in range(8) for y in range(8)}
+        )
+        assert 0 < result_one.ledger.total < result_all.ledger.total / 4
+
+    def test_size_zero_for_inactive_payload(self):
+        agg = EventDrivenAggregation(
+            CountAggregation(lambda c: True), active=lambda c: False
+        )
+        assert agg.size_of(None) == 0.0
+        assert agg.local_operations((0, 0)) == 0.0
+        assert agg.merge_operations(None) == 0.0
+
+
+class TestEventSimulation:
+    def test_vicinity_activation(self):
+        active = simulate_event_activations(16, n_events=1, vicinity_radius=2.0, rng=1)
+        assert 0 < len(active) <= 16 * 16
+        # activated cells cluster: bounding box is small
+        xs = [c[0] for c in active]
+        ys = [c[1] for c in active]
+        assert max(xs) - min(xs) <= 4
+        assert max(ys) - min(ys) <= 4
+
+    def test_zero_events(self):
+        assert simulate_event_activations(8, 0, 2.0, rng=1) == set()
+
+    def test_zero_radius(self):
+        # radius 0: only cells whose centre coincides with a target (a.s. none)
+        active = simulate_event_activations(8, 3, 0.0, rng=2)
+        assert len(active) <= 3
+
+    def test_deterministic(self):
+        a = simulate_event_activations(16, 2, 1.5, rng=7)
+        b = simulate_event_activations(16, 2, 1.5, rng=7)
+        assert a == b
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            simulate_event_activations(8, -1, 1.0)
+        with pytest.raises(ValueError):
+            simulate_event_activations(8, 1, -1.0)
+
+    def test_tracking_round_counts_vicinity(self):
+        side = 16
+        active = simulate_event_activations(side, 2, 2.0, rng=3)
+        result = run_with_active(side, active)
+        assert result.root_payload == len(active)
+
+
+class TestRegionLabelingUnderPartialActivation:
+    def test_feature_predicate_composition(self):
+        # the documented route for region labeling with inactive leaves:
+        # fold activation into the feature predicate, no wrapper needed
+        import numpy as np
+
+        from repro.apps import RegionAggregation, count_regions
+        from repro.core import VirtualArchitecture
+
+        side = 8
+        rng = np.random.default_rng(4)
+        reading_above = {
+            (x, y): bool(rng.random() < 0.6)
+            for x in range(side)
+            for y in range(side)
+        }
+        active = simulate_event_activations(side, 2, 2.0, rng=5)
+        agg = RegionAggregation(
+            lambda c: (c in active) and reading_above[c]
+        )
+        va = VirtualArchitecture(side)
+        result = va.execute(agg)
+        feat = np.zeros((side, side), dtype=bool)
+        for (x, y) in active:
+            feat[y, x] = reading_above[(x, y)]
+        assert result.root_payload.total_regions() == count_regions(feat)

@@ -1,0 +1,173 @@
+"""Unit tests for repro.core.groups: the hierarchical group middleware."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.groups import (
+    CenterLeaderPolicy,
+    HierarchicalGroups,
+    NorthWestLeaderPolicy,
+    RandomLeaderPolicy,
+)
+from repro.core.network_model import OrientedGrid
+
+
+class TestHierarchyStructure:
+    def test_max_level_power_of_two(self):
+        assert HierarchicalGroups(OrientedGrid(8)).max_level == 3
+        assert HierarchicalGroups(OrientedGrid(1)).max_level == 0
+
+    def test_max_level_non_power_of_two(self):
+        # blocks of 4 fit in a 6-wide grid, blocks of 8 do not
+        assert HierarchicalGroups(OrientedGrid(6)).max_level == 2
+
+    def test_block_side(self, groups4):
+        assert groups4.block_side(0) == 1
+        assert groups4.block_side(1) == 2
+        assert groups4.block_side(2) == 4
+
+    def test_level_bounds_checked(self, groups4):
+        with pytest.raises(ValueError):
+            groups4.block_side(3)
+        with pytest.raises(ValueError):
+            groups4.leader((0, 0), -1)
+
+    def test_rejects_branching_below_two(self, grid4):
+        with pytest.raises(ValueError):
+            HierarchicalGroups(grid4, branching=1)
+
+    def test_num_groups(self, groups4):
+        assert groups4.num_groups(0) == 16
+        assert groups4.num_groups(1) == 4
+        assert groups4.num_groups(2) == 1
+
+
+class TestNorthWestPolicy:
+    def test_level0_everyone_leads(self, groups4):
+        for node in groups4.grid.nodes():
+            assert groups4.is_leader(node, 0)
+            assert groups4.leader(node, 0) == node
+
+    def test_level1_leaders_match_paper(self, groups4):
+        # Figure 3: level-1 leaders are Morton 0, 4, 8, 12
+        assert groups4.leader((1, 1), 1) == (0, 0)
+        assert groups4.leader((3, 0), 1) == (2, 0)
+        assert groups4.leader((0, 3), 1) == (0, 2)
+        assert groups4.leader((2, 2), 1) == (2, 2)
+
+    def test_root_is_origin(self, groups4):
+        for node in groups4.grid.nodes():
+            assert groups4.leader(node, 2) == (0, 0)
+
+    def test_nesting_property(self):
+        # "all level i leaders are also level i-1 leaders"
+        groups = HierarchicalGroups(OrientedGrid(16))
+        for level in range(1, groups.max_level + 1):
+            for leader in groups.leaders_at(level):
+                assert groups.is_leader(leader, level - 1)
+
+    def test_leadership_level(self, groups4):
+        assert groups4.leadership_level((0, 0)) == 2
+        assert groups4.leadership_level((2, 0)) == 1
+        assert groups4.leadership_level((1, 0)) == 0
+
+    def test_members_partition(self, groups4):
+        for level in range(groups4.max_level + 1):
+            seen = set()
+            for leader in groups4.leaders_at(level):
+                members = groups4.members(leader, level)
+                assert len(members) == groups4.block_side(level) ** 2
+                assert not (set(members) & seen)
+                seen |= set(members)
+            assert len(seen) == 16
+
+    def test_followers_exclude_leader(self, groups4):
+        fol = groups4.followers((0, 0), 1)
+        assert (0, 0) not in fol
+        assert len(fol) == 3
+
+    def test_leaders_at_count(self, groups4):
+        assert len(list(groups4.leaders_at(1))) == 4
+        assert list(groups4.leaders_at(2)) == [(0, 0)]
+
+    def test_child_leaders_are_quadrant_corners(self, groups4):
+        children = groups4.child_leaders((0, 0), 2)
+        assert children == [(0, 0), (2, 0), (0, 2), (2, 2)]
+
+    def test_child_leaders_level1(self, groups4):
+        assert groups4.child_leaders((2, 2), 1) == [(2, 2), (3, 2), (2, 3), (3, 3)]
+
+    def test_child_leaders_level0_empty(self, groups4):
+        assert groups4.child_leaders((1, 1), 0) == []
+
+
+class TestGroupCosts:
+    def test_follower_to_leader_hops(self, groups4):
+        assert groups4.follower_to_leader_hops((1, 1), 1) == 2
+        assert groups4.follower_to_leader_hops((0, 0), 2) == 0
+        assert groups4.follower_to_leader_hops((3, 3), 2) == 6
+
+    def test_gather_cost_level1(self, groups4):
+        total, worst = groups4.group_gather_cost((0, 0), 1)
+        # followers at distances 1, 1, 2
+        assert total == 4.0
+        assert worst == 2.0
+
+    def test_gather_cost_scales_with_units(self, groups4):
+        total1, _ = groups4.group_gather_cost((0, 0), 1, units_per_member=1.0)
+        total3, _ = groups4.group_gather_cost((0, 0), 1, units_per_member=3.0)
+        assert total3 == 3 * total1
+
+    def test_cost_proportional_to_hops(self):
+        # Section 4.2: member->leader cost proportional to hop distance.
+        groups = HierarchicalGroups(OrientedGrid(8))
+        for level in (1, 2, 3):
+            for member in ((3, 3), (5, 1), (7, 7)):
+                hops = groups.follower_to_leader_hops(member, level)
+                assert hops == groups.grid.hop_distance(
+                    member, groups.leader(member, level)
+                )
+
+    def test_role_table(self, groups4):
+        table = groups4.role_table((2, 0))
+        assert table == {0: "leader", 1: "leader", 2: "follower"}
+
+
+class TestAlternativePolicies:
+    def test_center_policy_level1_is_corner(self):
+        # 2x2 blocks have NW-rounded centre at the corner itself
+        groups = HierarchicalGroups(OrientedGrid(4), policy=CenterLeaderPolicy())
+        assert groups.leader((1, 1), 1) == (0, 0)
+
+    def test_center_policy_level2_interior(self):
+        groups = HierarchicalGroups(OrientedGrid(4), policy=CenterLeaderPolicy())
+        assert groups.leader((0, 0), 2) == (1, 1)
+
+    def test_center_policy_reduces_mean_distance(self):
+        grid = OrientedGrid(8)
+        nw = HierarchicalGroups(grid)
+        center = HierarchicalGroups(grid, policy=CenterLeaderPolicy())
+        level = 3
+        nw_total = sum(nw.follower_to_leader_hops(n, level) for n in grid.nodes())
+        c_total = sum(center.follower_to_leader_hops(n, level) for n in grid.nodes())
+        assert c_total < nw_total
+
+    def test_random_policy_deterministic(self):
+        grid = OrientedGrid(8)
+        a = HierarchicalGroups(grid, policy=RandomLeaderPolicy(seed=3))
+        b = HierarchicalGroups(grid, policy=RandomLeaderPolicy(seed=3))
+        for node in grid.nodes():
+            assert a.leader(node, 2) == b.leader(node, 2)
+
+    def test_random_policy_leader_in_block(self):
+        grid = OrientedGrid(8)
+        groups = HierarchicalGroups(grid, policy=RandomLeaderPolicy(seed=1))
+        for node in grid.nodes():
+            for level in range(groups.max_level + 1):
+                leader = groups.leader(node, level)
+                assert leader in groups.members(node, level)
+
+    def test_policy_names(self):
+        assert NorthWestLeaderPolicy().name() == "NorthWestLeaderPolicy"
+        assert CenterLeaderPolicy().name() == "CenterLeaderPolicy"

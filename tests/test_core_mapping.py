@@ -1,0 +1,194 @@
+"""Unit tests for repro.core.mapping: Figure 3, constraints, mappers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.coords import morton_encode
+from repro.core.groups import CenterLeaderPolicy, HierarchicalGroups
+from repro.core.mapping import (
+    ConstraintViolation,
+    Mapping,
+    check_all_constraints,
+    check_coverage,
+    check_spatial_correlation,
+    exhaustive_best_mapping,
+    mapping_table,
+    recursive_quadrant_mapping,
+    sink_rooted_mapping,
+)
+from repro.core.network_model import OrientedGrid
+from repro.core.taskgraph import Task, TaskGraph, TaskId, build_quadtree
+
+
+@pytest.fixture
+def quadtree4():
+    return build_quadtree(OrientedGrid(4))
+
+
+@pytest.fixture
+def paper_mapping(quadtree4, groups4):
+    return recursive_quadrant_mapping(quadtree4, groups4)
+
+
+class TestRecursiveQuadrantMapping:
+    def test_reproduces_figure3(self, paper_mapping):
+        # "The root node is mapped to location 0, and the four level 1
+        #  nodes are mapped to locations 0, 4, 8, and 12 respectively."
+        assert paper_mapping.location(TaskId(2, 0)) == (0, 0)
+        locations = [
+            morton_encode(paper_mapping.location(TaskId(1, i)))
+            for i in (0, 4, 8, 12)
+        ]
+        assert locations == [0, 4, 8, 12]
+
+    def test_leaves_on_their_cells(self, paper_mapping, grid4):
+        for node in grid4.nodes():
+            assert paper_mapping.location(TaskId(0, morton_encode(node))) == node
+
+    def test_satisfies_all_constraints(self, paper_mapping):
+        check_all_constraints(paper_mapping)
+
+    def test_complete(self, paper_mapping):
+        assert paper_mapping.is_complete()
+
+    def test_colocation_at_root(self, paper_mapping):
+        tasks = paper_mapping.tasks_at((0, 0))
+        # leaf 0, level-1 leader 0, root
+        assert len(tasks) == 3
+
+    def test_with_center_policy(self, quadtree4, grid4):
+        groups = HierarchicalGroups(grid4, policy=CenterLeaderPolicy())
+        mapping = recursive_quadrant_mapping(quadtree4, groups)
+        check_all_constraints(mapping)
+        assert mapping.location(TaskId(2, 0)) == (1, 1)
+
+
+class TestConstraints:
+    def test_coverage_rejects_duplicate_leaf_placement(self, quadtree4, grid4):
+        mapping = Mapping(graph=quadtree4, grid=grid4)
+        for task in quadtree4.tasks():
+            mapping.place(task.tid, (0, 0))
+        with pytest.raises(ConstraintViolation, match="coverage"):
+            check_coverage(mapping)
+
+    def test_coverage_rejects_unmapped_leaf(self, quadtree4, grid4):
+        mapping = Mapping(graph=quadtree4, grid=grid4)
+        with pytest.raises(ConstraintViolation):
+            check_coverage(mapping)
+
+    def test_coverage_rejects_wrong_leaf_count(self, grid4):
+        tg = TaskGraph()
+        tg.add_task(Task(TaskId(0, 0)))
+        mapping = Mapping(graph=tg, grid=grid4)
+        mapping.place(TaskId(0, 0), (0, 0))
+        with pytest.raises(ConstraintViolation, match="16"):
+            check_coverage(mapping)
+
+    def test_spatial_correlation_accepts_paper_mapping(self, paper_mapping):
+        check_spatial_correlation(paper_mapping)
+
+    def test_spatial_correlation_rejects_scattered_children(self, grid4):
+        # a parent whose two children oversee non-adjacent cells
+        tg = TaskGraph()
+        a, b, p = TaskId(0, 0), TaskId(0, 1), TaskId(1, 0)
+        tg.add_task(Task(a))
+        tg.add_task(Task(b))
+        tg.add_task(Task(p))
+        tg.add_edge(a, p)
+        tg.add_edge(b, p)
+        mapping = Mapping(graph=tg, grid=grid4)
+        mapping.place(a, (0, 0))
+        mapping.place(b, (3, 3))
+        mapping.place(p, (0, 0))
+        with pytest.raises(ConstraintViolation, match="spatial"):
+            check_spatial_correlation(mapping)
+
+    def test_swapped_leaves_break_spatial_correlation(self, quadtree4, groups4):
+        mapping = recursive_quadrant_mapping(quadtree4, groups4)
+        # swap a NW-quadrant leaf with a SE-quadrant leaf
+        a, b = TaskId(0, 0), TaskId(0, 15)
+        mapping.placement[a], mapping.placement[b] = (
+            mapping.placement[b],
+            mapping.placement[a],
+        )
+        check_coverage(mapping)  # still a bijection
+        with pytest.raises(ConstraintViolation):
+            check_spatial_correlation(mapping)
+
+    def test_check_all_requires_completeness(self, quadtree4, grid4):
+        mapping = Mapping(graph=quadtree4, grid=grid4)
+        with pytest.raises(ConstraintViolation, match="incomplete"):
+            check_all_constraints(mapping)
+
+
+class TestMappingCosts:
+    def test_paper_mapping_cost(self, paper_mapping):
+        energy, latency = paper_mapping.communication_cost()
+        # unit edges: hop-units 24, tx+rx -> 48; critical path 2+4
+        assert energy == 48.0
+        assert latency == 6.0
+
+    def test_per_node_energy_total_matches(self, paper_mapping):
+        ledger = paper_mapping.per_node_energy()
+        energy, _ = paper_mapping.communication_cost()
+        assert ledger.total == pytest.approx(energy)
+
+    def test_hotspot_is_column_relay(self, paper_mapping):
+        # under x-first XY routing the node south of the root relays the
+        # southern and diagonal child messages of every level
+        ledger = paper_mapping.per_node_energy()
+        per = ledger.per_node()
+        assert max(per, key=per.get) == (0, 1)
+        assert per[(0, 0)] == 6.0  # root: 3 receptions per level
+
+    def test_sink_mapping_more_energy(self, quadtree4, grid4, groups4):
+        sink = sink_rooted_mapping(quadtree4, grid4)
+        check_coverage(sink)
+        paper = recursive_quadrant_mapping(quadtree4, groups4)
+        e_sink, _ = sink.communication_cost()
+        e_paper, _ = paper.communication_cost()
+        assert e_sink > e_paper
+
+    def test_compute_annotations_charged(self, grid4, groups4):
+        tg = build_quadtree(grid4)
+        for task in tg.tasks():
+            task.annotations["operations"] = 2.0
+        mapping = recursive_quadrant_mapping(tg, groups4)
+        energy, latency = mapping.communication_cost()
+        assert energy == 48.0 + 2.0 * 21
+        ledger = mapping.per_node_energy()
+        assert ledger.by_category()["compute"] == 42.0
+
+
+class TestOtherMappers:
+    def test_sink_rooted_places_interior_at_sink(self, quadtree4, grid4):
+        mapping = sink_rooted_mapping(quadtree4, grid4, sink=(3, 3))
+        assert mapping.location(TaskId(2, 0)) == (3, 3)
+        assert mapping.location(TaskId(1, 4)) == (3, 3)
+        assert mapping.is_complete()
+
+    def test_sink_validates_membership(self, quadtree4, grid4):
+        with pytest.raises(ValueError):
+            sink_rooted_mapping(quadtree4, grid4, sink=(9, 9))
+
+    def test_exhaustive_on_2x2(self):
+        grid = OrientedGrid(2)
+        tg = build_quadtree(grid)
+        groups = HierarchicalGroups(grid)
+        best = exhaustive_best_mapping(tg, grid)
+        e_best, _ = best.communication_cost()
+        e_paper, _ = recursive_quadrant_mapping(tg, groups).communication_cost()
+        # paper mapping is optimal on the 2x2 instance
+        assert e_best == pytest.approx(e_paper)
+
+    def test_exhaustive_guards_size(self):
+        grid = OrientedGrid(4)
+        tg = build_quadtree(grid)
+        with pytest.raises(ValueError):
+            exhaustive_best_mapping(tg, grid)
+
+    def test_mapping_table_renders(self, paper_mapping):
+        text = mapping_table(paper_mapping)
+        assert "level 0" in text and "level 2" in text
+        assert "0->0@(0, 0)" in text

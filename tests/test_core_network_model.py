@@ -1,0 +1,173 @@
+"""Unit tests for repro.core.network_model: grid and tree topologies."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.coords import Direction
+from repro.core.network_model import OrientedGrid, VirtualTree
+
+
+class TestOrientedGridBasics:
+    def test_num_nodes(self):
+        assert OrientedGrid(4).num_nodes == 16
+        assert OrientedGrid(3, 5).num_nodes == 15
+
+    def test_default_square(self):
+        g = OrientedGrid(6)
+        assert g.width == 6 and g.height == 6
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            OrientedGrid(0)
+        with pytest.raises(ValueError):
+            OrientedGrid(4, -1)
+
+    def test_contains(self):
+        g = OrientedGrid(4)
+        assert (0, 0) in g and (3, 3) in g
+        assert (4, 0) not in g and (0, -1) not in g
+        assert "nope" not in g
+
+    def test_nodes_enumeration(self):
+        g = OrientedGrid(3, 2)
+        nodes = list(g.nodes())
+        assert len(nodes) == 6
+        assert nodes[0] == (0, 0)
+        assert nodes[-1] == (2, 1)
+
+    def test_equality_and_hash(self):
+        assert OrientedGrid(4) == OrientedGrid(4)
+        assert OrientedGrid(4) != OrientedGrid(4, 5)
+        assert hash(OrientedGrid(4)) == hash(OrientedGrid(4))
+
+
+class TestOrientedGridNeighbors:
+    def test_interior_has_four(self):
+        g = OrientedGrid(4)
+        assert len(g.neighbors((1, 1))) == 4
+
+    def test_corner_has_two(self):
+        g = OrientedGrid(4)
+        assert set(g.neighbors((0, 0))) == {(1, 0), (0, 1)}
+
+    def test_edge_has_three(self):
+        g = OrientedGrid(4)
+        assert len(g.neighbors((2, 0))) == 3
+
+    def test_neighbor_in_direction(self):
+        g = OrientedGrid(4)
+        assert g.neighbor_in((1, 1), Direction.NORTH) == (1, 0)
+        assert g.neighbor_in((0, 0), Direction.WEST) is None
+
+    def test_validate_member_raises(self):
+        g = OrientedGrid(4)
+        with pytest.raises(ValueError):
+            g.neighbors((9, 9))
+
+
+class TestOrientedGridRouting:
+    def test_hop_distance_is_manhattan(self):
+        g = OrientedGrid(8)
+        assert g.hop_distance((0, 0), (7, 7)) == 14
+
+    def test_route_valid(self):
+        g = OrientedGrid(8)
+        path = g.route((1, 6), (6, 2))
+        assert path[0] == (1, 6) and path[-1] == (6, 2)
+        assert len(path) == g.hop_distance((1, 6), (6, 2)) + 1
+        assert all(p in g for p in path)
+
+    def test_route_rejects_outside(self):
+        g = OrientedGrid(4)
+        with pytest.raises(ValueError):
+            g.route((0, 0), (5, 5))
+
+    def test_diameter(self):
+        assert OrientedGrid(4).diameter() == 6
+        assert OrientedGrid(2, 7).diameter() == 7
+
+
+class TestOrientedGridQuadtreeCompat:
+    def test_power_of_two_square(self):
+        assert OrientedGrid(8).is_quadtree_compatible
+        assert not OrientedGrid(6).is_quadtree_compatible
+        assert not OrientedGrid(8, 4).is_quadtree_compatible
+
+    def test_max_level(self):
+        assert OrientedGrid(8).max_level == 3
+        assert OrientedGrid(1).max_level == 0
+
+    def test_max_level_rejected_for_incompatible(self):
+        with pytest.raises(ValueError):
+            OrientedGrid(6).max_level
+
+    def test_morton_index_roundtrip(self):
+        g = OrientedGrid(4)
+        for node in g.nodes():
+            assert g.coord_of(g.index_of(node)) == node
+
+    def test_row_major_index(self):
+        g = OrientedGrid(4)
+        assert g.row_major_index((0, 0)) == 0
+        assert g.row_major_index((3, 0)) == 3
+        assert g.row_major_index((0, 1)) == 4
+
+    def test_boundary_nodes(self):
+        g = OrientedGrid(4)
+        boundary = set(g.boundary_nodes())
+        assert len(boundary) == 12
+        assert (0, 0) in boundary and (3, 3) in boundary
+        assert (1, 1) not in boundary
+
+    def test_boundary_nodes_1x1(self):
+        assert set(OrientedGrid(1).boundary_nodes()) == {(0, 0)}
+
+
+class TestVirtualTree:
+    def test_num_nodes(self):
+        # binary tree of depth 2: 1 + 2 + 4
+        assert VirtualTree(2, 2).num_nodes == 7
+        assert VirtualTree(4, 2).num_nodes == 21
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            VirtualTree(1, 3)
+        with pytest.raises(ValueError):
+            VirtualTree(2, -1)
+
+    def test_contains(self):
+        t = VirtualTree(2, 2)
+        assert (0, 0) in t and (2, 3) in t
+        assert (3, 0) not in t and (1, 2) not in t
+
+    def test_parent_child(self):
+        t = VirtualTree(2, 2)
+        assert t.parent((0, 0)) is None
+        assert t.parent((2, 3)) == (1, 1)
+        assert t.children((1, 1)) == [(2, 2), (2, 3)]
+        assert t.children((2, 0)) == []
+
+    def test_neighbors(self):
+        t = VirtualTree(2, 2)
+        assert set(t.neighbors((1, 0))) == {(0, 0), (2, 0), (2, 1)}
+
+    def test_route_through_lca(self):
+        t = VirtualTree(2, 3)
+        path = t.route((3, 0), (3, 7))
+        assert path[0] == (3, 0) and path[-1] == (3, 7)
+        assert (0, 0) in path  # LCA is the root for opposite subtrees
+        assert t.hop_distance((3, 0), (3, 7)) == 6
+
+    def test_route_within_subtree(self):
+        t = VirtualTree(2, 3)
+        assert t.hop_distance((3, 0), (3, 1)) == 2
+        assert t.hop_distance((2, 0), (3, 1)) == 1
+
+    def test_route_to_self(self):
+        t = VirtualTree(2, 2)
+        assert t.route((2, 1), (2, 1)) == [(2, 1)]
+
+    def test_nodes_enumeration(self):
+        t = VirtualTree(3, 1)
+        assert list(t.nodes()) == [(0, 0), (1, 0), (1, 1), (1, 2)]

@@ -1,0 +1,203 @@
+"""Unit tests for the Kahn process-network model of computation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import OrientedGrid
+from repro.core.process_network import DeadlockError, ProcessNetwork
+
+
+def build_pipeline(n_tokens=5, grid=None, placements=None):
+    """source -> double -> sink pipeline; returns (network, results list)."""
+    net = ProcessNetwork(grid=grid)
+    a = net.add_channel("a")
+    b = net.add_channel("b")
+    results = []
+
+    def source():
+        for i in range(n_tokens):
+            yield ("write", a, i)
+
+    def double():
+        for _ in range(n_tokens):
+            v = yield ("read", a)
+            yield ("compute", 1.0)
+            yield ("write", b, v * 2)
+
+    def sink():
+        for _ in range(n_tokens):
+            v = yield ("read", b)
+            results.append(v)
+
+    placements = placements or {}
+    net.add_process("source", source, node=placements.get("source"))
+    net.add_process("double", double, node=placements.get("double"))
+    net.add_process("sink", sink, node=placements.get("sink"))
+    net.connect("a", "source", "double")
+    net.connect("b", "double", "sink")
+    return net, results
+
+
+class TestPipeline:
+    def test_tokens_flow_in_order(self):
+        net, results = build_pipeline()
+        net.run()
+        assert results == [0, 2, 4, 6, 8]
+
+    def test_finish_times_returned(self):
+        net, _ = build_pipeline()
+        times = net.run()
+        assert set(times) == {"source", "double", "sink"}
+        assert times["double"] >= 5 * 1.0  # five unit computations
+
+    def test_deterministic(self):
+        net1, r1 = build_pipeline()
+        net2, r2 = build_pipeline()
+        t1, t2 = net1.run(), net2.run()
+        assert r1 == r2
+        assert t1 == t2
+
+    def test_channel_counters(self):
+        net, _ = build_pipeline()
+        net.run()
+        assert net.channel("a").tokens_transferred == 5
+        assert net.channel("b").tokens_transferred == 5
+
+
+class TestBoundedChannels:
+    def test_capacity_throttles_but_completes(self):
+        net = ProcessNetwork()
+        ch = net.add_channel("c", capacity=1)
+        seen = []
+
+        def producer():
+            for i in range(4):
+                yield ("write", ch, i)
+
+        def consumer():
+            for _ in range(4):
+                v = yield ("read", ch)
+                seen.append(v)
+
+        net.add_process("p", producer)
+        net.add_process("c", consumer)
+        net.connect("c", "p", "c")
+        net.run()
+        assert seen == [0, 1, 2, 3]
+
+    def test_capacity_validation(self):
+        net = ProcessNetwork()
+        with pytest.raises(ValueError):
+            net.add_channel("c", capacity=0)
+
+
+class TestDeadlock:
+    def test_read_on_never_written_channel(self):
+        net = ProcessNetwork()
+        ch = net.add_channel("c")
+
+        def victim():
+            yield ("read", ch)
+
+        def writer():
+            return
+            yield  # never writes
+
+        net.add_process("victim", victim)
+        net.add_process("writer", writer)
+        net.connect("c", "writer", "victim")
+        with pytest.raises(DeadlockError, match="victim"):
+            net.run()
+
+    def test_mutual_wait(self):
+        net = ProcessNetwork()
+        x = net.add_channel("x")
+        y = net.add_channel("y")
+
+        def p1():
+            v = yield ("read", y)
+            yield ("write", x, v)
+
+        def p2():
+            v = yield ("read", x)
+            yield ("write", y, v)
+
+        net.add_process("p1", p1)
+        net.add_process("p2", p2)
+        net.connect("x", "p1", "p2")
+        net.connect("y", "p2", "p1")
+        with pytest.raises(DeadlockError):
+            net.run()
+
+
+class TestStructure:
+    def test_duplicate_names_rejected(self):
+        net = ProcessNetwork()
+        net.add_channel("c")
+        with pytest.raises(ValueError):
+            net.add_channel("c")
+        net.add_process("p", lambda: iter(()))
+        with pytest.raises(ValueError):
+            net.add_process("p", lambda: iter(()))
+
+    def test_channel_single_writer_reader(self):
+        net = ProcessNetwork()
+        net.add_channel("c")
+        net.add_process("a", lambda: iter(()))
+        net.add_process("b", lambda: iter(()))
+        net.connect("c", "a", "b")
+        with pytest.raises(ValueError):
+            net.connect("c", "a", "b")
+
+    def test_placement_requires_grid(self):
+        net = ProcessNetwork()
+        with pytest.raises(ValueError):
+            net.add_process("p", lambda: iter(()), node=(0, 0))
+
+    def test_unknown_request_rejected(self):
+        net = ProcessNetwork()
+
+        def bad():
+            yield ("jump", None)
+
+        net.add_process("bad", bad)
+        with pytest.raises(ValueError, match="unknown request"):
+            net.run()
+
+
+class TestGridMappedCosts:
+    def test_token_transfers_charged(self):
+        grid = OrientedGrid(4)
+        net, results = build_pipeline(
+            n_tokens=3,
+            grid=grid,
+            placements={"source": (0, 0), "double": (3, 0), "sink": (3, 3)},
+        )
+        net.run()
+        assert results == [0, 2, 4]
+        # channel traffic: 3 tokens x 2 legs x 3 hops x (tx+rx) = 36,
+        # plus 3 unit computations at (3,0)
+        assert net.ledger.total == pytest.approx(36.0 + 3.0)
+        assert net.ledger.by_category()["compute"] == 3.0
+
+    def test_colocated_processes_free(self):
+        grid = OrientedGrid(2)
+        net, _ = build_pipeline(
+            n_tokens=2,
+            grid=grid,
+            placements={"source": (0, 0), "double": (0, 0), "sink": (0, 0)},
+        )
+        net.run()
+        assert net.ledger.by_category().get("tx", 0.0) == 0.0
+
+    def test_latency_respects_hops(self):
+        grid = OrientedGrid(4)
+        net, _ = build_pipeline(
+            n_tokens=1,
+            grid=grid,
+            placements={"source": (0, 0), "double": (3, 0), "sink": (3, 3)},
+        )
+        times = net.run()
+        # one token: 3 hops + 1 compute + 3 hops
+        assert times["sink"] == pytest.approx(7.0)

@@ -1,0 +1,218 @@
+"""Unit tests for repro.core.taskgraph: the application model and Figure 2."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.network_model import OrientedGrid
+from repro.core.taskgraph import (
+    PROCESSING,
+    SENSING,
+    SINK,
+    Task,
+    TaskGraph,
+    TaskId,
+    build_linear_chain,
+    build_quadtree,
+    quadtree_ascii,
+)
+
+
+class TestTaskGraphConstruction:
+    def test_add_and_lookup(self):
+        tg = TaskGraph()
+        t = tg.add_task(Task(TaskId(0, 0), kind=SENSING))
+        assert tg.task(TaskId(0, 0)) is t
+        assert TaskId(0, 0) in tg
+        assert len(tg) == 1
+
+    def test_duplicate_id_rejected(self):
+        tg = TaskGraph()
+        tg.add_task(Task(TaskId(0, 0)))
+        with pytest.raises(ValueError):
+            tg.add_task(Task(TaskId(0, 0)))
+
+    def test_edges(self):
+        tg = TaskGraph()
+        a, b = TaskId(0, 0), TaskId(1, 0)
+        tg.add_task(Task(a))
+        tg.add_task(Task(b))
+        tg.add_edge(a, b, data_units=2.5)
+        assert tg.successors(a) == [b]
+        assert tg.predecessors(b) == [a]
+        assert tg.edge_units(a, b) == 2.5
+
+    def test_edge_requires_endpoints(self):
+        tg = TaskGraph()
+        tg.add_task(Task(TaskId(0, 0)))
+        with pytest.raises(KeyError):
+            tg.add_edge(TaskId(0, 0), TaskId(9, 9))
+
+    def test_self_edge_rejected(self):
+        tg = TaskGraph()
+        tg.add_task(Task(TaskId(0, 0)))
+        with pytest.raises(ValueError):
+            tg.add_edge(TaskId(0, 0), TaskId(0, 0))
+
+    def test_duplicate_edge_rejected(self):
+        tg = TaskGraph()
+        a, b = TaskId(0, 0), TaskId(1, 0)
+        tg.add_task(Task(a))
+        tg.add_task(Task(b))
+        tg.add_edge(a, b)
+        with pytest.raises(ValueError):
+            tg.add_edge(a, b)
+
+    def test_cycle_rejected_and_rolled_back(self):
+        tg = TaskGraph()
+        a, b, c = TaskId(0, 0), TaskId(1, 0), TaskId(2, 0)
+        for tid in (a, b, c):
+            tg.add_task(Task(tid))
+        tg.add_edge(a, b)
+        tg.add_edge(b, c)
+        with pytest.raises(ValueError):
+            tg.add_edge(c, a)
+        # rollback leaves the graph valid
+        assert tg.successors(c) == []
+        tg.validate()
+
+
+class TestTaskGraphQueries:
+    def _diamond(self):
+        tg = TaskGraph()
+        ids = [TaskId(0, 0), TaskId(0, 1), TaskId(1, 0), TaskId(2, 0)]
+        for i, tid in enumerate(ids):
+            tg.add_task(Task(tid, kind=SENSING if tid.level == 0 else PROCESSING))
+        tg.add_edge(ids[0], ids[2])
+        tg.add_edge(ids[1], ids[2])
+        tg.add_edge(ids[2], ids[3])
+        return tg, ids
+
+    def test_leaves_and_roots(self):
+        tg, ids = self._diamond()
+        assert {t.tid for t in tg.leaves()} == {ids[0], ids[1]}
+        assert [t.tid for t in tg.roots()] == [ids[3]]
+
+    def test_topological_order(self):
+        tg, ids = self._diamond()
+        order = [t.tid for t in tg.topological_order()]
+        assert order.index(ids[0]) < order.index(ids[2])
+        assert order.index(ids[2]) < order.index(ids[3])
+
+    def test_levels(self):
+        tg, _ = self._diamond()
+        levels = tg.levels()
+        assert [len(lv) for lv in levels] == [2, 1, 1]
+
+    def test_is_tree(self):
+        tg, _ = self._diamond()
+        assert tg.is_tree()
+
+    def test_not_tree_with_two_roots(self):
+        tg = TaskGraph()
+        tg.add_task(Task(TaskId(0, 0)))
+        tg.add_task(Task(TaskId(0, 1)))
+        assert not tg.is_tree()
+
+    def test_arity_uniform(self):
+        tg, _ = self._diamond()
+        assert tg.arity() is None  # one task has 2 preds, the other 1
+
+    def test_sensing_tasks(self):
+        tg, ids = self._diamond()
+        assert {t.tid for t in tg.sensing_tasks()} == {ids[0], ids[1]}
+
+
+class TestValidate:
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            TaskGraph().validate()
+
+    def test_sensing_with_predecessor_rejected(self):
+        tg = TaskGraph()
+        tg.add_task(Task(TaskId(0, 0), kind=PROCESSING))
+        tg.add_task(Task(TaskId(1, 0), kind=SENSING))
+        tg.add_edge(TaskId(0, 0), TaskId(1, 0))
+        with pytest.raises(ValueError):
+            tg.validate()
+
+    def test_region_containment_checked(self):
+        tg = TaskGraph()
+        tg.add_task(Task(TaskId(0, 0), kind=SENSING, region=(5, 5, 1, 1)))
+        tg.add_task(Task(TaskId(1, 0), kind=SINK, region=(0, 0, 2, 2)))
+        tg.add_edge(TaskId(0, 0), TaskId(1, 0))
+        with pytest.raises(ValueError):
+            tg.validate()
+
+
+class TestBuildQuadtree:
+    def test_figure2_shape(self):
+        # 4x4 grid: 16 leaves + 4 level-1 + 1 root = 21 tasks
+        tg = build_quadtree(OrientedGrid(4))
+        assert len(tg) == 21
+        assert len(tg.leaves()) == 16
+        assert len(tg.roots()) == 1
+        assert tg.is_tree()
+        assert tg.arity() == 4
+        tg.validate()
+
+    def test_figure2_labels(self):
+        tg = build_quadtree(OrientedGrid(4))
+        level1 = sorted(t.tid.index for t in tg.levels()[1])
+        assert level1 == [0, 4, 8, 12]  # the paper's Figure 2 labels
+        assert tg.levels()[2][0].tid.index == 0
+
+    def test_children_of_root(self):
+        tg = build_quadtree(OrientedGrid(4))
+        preds = sorted(t.index for t in tg.predecessors(TaskId(2, 0)))
+        assert preds == [0, 4, 8, 12]
+
+    def test_kinds(self):
+        tg = build_quadtree(OrientedGrid(4))
+        assert all(t.kind == SENSING for t in tg.levels()[0])
+        assert all(t.kind == PROCESSING for t in tg.levels()[1])
+        assert tg.levels()[2][0].kind == SINK
+
+    def test_regions_annotated(self):
+        tg = build_quadtree(OrientedGrid(4))
+        root = tg.roots()[0]
+        assert root.region == (0, 0, 4, 4)
+        leaf = tg.task(TaskId(0, 5))
+        assert leaf.region == (3, 0, 1, 1)
+
+    def test_trivial_grid(self):
+        tg = build_quadtree(OrientedGrid(1))
+        assert len(tg) == 1
+        assert tg.leaves() == tg.roots()
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(ValueError):
+            build_quadtree(OrientedGrid(6))
+        with pytest.raises(ValueError):
+            build_quadtree(OrientedGrid(4, 8))
+
+    def test_edge_units_annotation(self):
+        tg = build_quadtree(OrientedGrid(4), data_units_per_edge=3.0)
+        assert all(units == 3.0 for _, _, units in tg.edges())
+
+    def test_large_grid_counts(self):
+        tg = build_quadtree(OrientedGrid(16))
+        # 256 + 64 + 16 + 4 + 1
+        assert len(tg) == 341
+
+
+class TestRendering:
+    def test_ascii_contains_all_tasks(self):
+        tg = build_quadtree(OrientedGrid(4))
+        text = quadtree_ascii(tg)
+        assert text.count("\n") + 1 == 21
+        assert "[L2] 0 (root)" in text
+        assert "[L0] 15 (sense)" in text
+
+    def test_linear_chain(self):
+        tg = build_linear_chain(4)
+        assert len(tg) == 4
+        assert len(tg.leaves()) == 1
+        assert tg.is_tree()
+        with pytest.raises(ValueError):
+            build_linear_chain(0)

@@ -1,0 +1,106 @@
+"""Unit tests for repro.deployment.terrain: terrain and cell geometry."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.deployment.terrain import (
+    CellGrid,
+    Terrain,
+    max_cell_side_for_range,
+)
+
+
+class TestTerrain:
+    def test_contains(self):
+        t = Terrain(10.0)
+        assert t.contains((0.0, 0.0))
+        assert t.contains((10.0, 10.0))
+        assert not t.contains((10.1, 5.0))
+        assert not t.contains((-0.1, 5.0))
+
+    def test_area(self):
+        assert Terrain(5.0).area == 25.0
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            Terrain(0.0)
+        with pytest.raises(ValueError):
+            Terrain(-3.0)
+
+
+class TestCellSideRule:
+    def test_sqrt5_constant(self):
+        assert max_cell_side_for_range(math.sqrt(5.0)) == pytest.approx(1.0)
+
+    def test_adjacent_cell_worst_case_within_range(self):
+        # opposite corners of a 1x2 cell pair are exactly c*sqrt(5) apart
+        c = max_cell_side_for_range(10.0)
+        assert c * math.sqrt(5.0) == pytest.approx(10.0)
+
+    def test_rejects_nonpositive_range(self):
+        with pytest.raises(ValueError):
+            max_cell_side_for_range(0.0)
+
+
+class TestCellGrid:
+    @pytest.fixture
+    def cells(self):
+        return CellGrid(Terrain(100.0), 4)
+
+    def test_cell_side(self, cells):
+        assert cells.cell_side == 25.0
+        assert cells.num_cells == 16
+
+    def test_cell_of_interior(self, cells):
+        assert cells.cell_of((10.0, 10.0)) == (0, 0)
+        assert cells.cell_of((30.0, 10.0)) == (1, 0)
+        assert cells.cell_of((10.0, 80.0)) == (0, 3)
+
+    def test_cell_of_clamps_far_edge(self, cells):
+        assert cells.cell_of((100.0, 100.0)) == (3, 3)
+
+    def test_cell_of_boundary_between_cells(self, cells):
+        # boundary point belongs to the higher cell (floor semantics)
+        assert cells.cell_of((25.0, 0.0)) == (1, 0)
+
+    def test_cell_of_outside_raises(self, cells):
+        with pytest.raises(ValueError):
+            cells.cell_of((101.0, 0.0))
+
+    def test_center(self, cells):
+        assert cells.center((0, 0)) == (12.5, 12.5)
+        assert cells.center((3, 3)) == (87.5, 87.5)
+
+    def test_center_validates(self, cells):
+        with pytest.raises(ValueError):
+            cells.center((4, 0))
+
+    def test_bounds(self, cells):
+        assert cells.bounds((1, 2)) == (25.0, 50.0, 50.0, 75.0)
+
+    def test_cells_enumeration(self, cells):
+        all_cells = list(cells.cells())
+        assert len(all_cells) == 16
+        assert all_cells[0] == (0, 0)
+        assert all_cells[-1] == (3, 3)
+
+    def test_distance_to_center(self, cells):
+        assert cells.distance_to_center((12.5, 12.5), (0, 0)) == 0.0
+        assert cells.distance_to_center((0.0, 12.5), (0, 0)) == pytest.approx(12.5)
+
+    def test_single_hop_guarantee(self, cells):
+        # cell side 25 needs range >= 25*sqrt(5)
+        assert cells.guarantees_single_hop_adjacency(25.0 * math.sqrt(5.0) + 0.1)
+        assert not cells.guarantees_single_hop_adjacency(40.0)
+
+    def test_cell_containment_invariant(self, cells):
+        # every cell centre maps back to its own cell
+        for cell in cells.cells():
+            assert cells.cell_of(cells.center(cell)) == cell
+
+    def test_rejects_nonpositive_cells(self):
+        with pytest.raises(ValueError):
+            CellGrid(Terrain(10.0), 0)

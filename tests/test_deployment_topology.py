@@ -1,0 +1,172 @@
+"""Unit tests for repro.deployment.topology: the real network graph G_R."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.deployment.node import SensorNode
+from repro.deployment.placement import one_per_cell, uniform_random, ensure_coverage
+from repro.deployment.terrain import CellGrid, Terrain
+from repro.deployment.topology import RealNetwork, build_network
+
+from conftest import make_deployment
+
+
+def line_network(positions, tx_range=1.5, cells=None):
+    cells = cells or CellGrid(Terrain(10.0), 2)
+    nodes = [
+        SensorNode(i, p, tx_range=tx_range) for i, p in enumerate(positions)
+    ]
+    return RealNetwork(nodes, cells)
+
+
+class TestAdjacency:
+    def test_unit_disk_edges(self):
+        net = line_network([(0.5, 0.5), (1.5, 0.5), (3.5, 0.5)])
+        assert net.neighbors(0) == [1]
+        assert net.neighbors(1) == [0]
+        assert net.neighbors(2) == []
+
+    def test_adjacency_symmetric(self):
+        net = make_deployment(side=4)
+        for nid in net.node_ids():
+            for nbr in net.neighbors(nid):
+                assert nid in net.neighbors(nbr)
+
+    def test_adjacency_matches_brute_force(self):
+        terrain = Terrain(50.0)
+        cells = CellGrid(terrain, 2)
+        rng = np.random.default_rng(3)
+        pts = uniform_random(60, terrain, rng)
+        net = build_network(pts, cells, tx_range=12.0)
+        for i in range(60):
+            expected = sorted(
+                j
+                for j in range(60)
+                if j != i
+                and math.hypot(pts[i][0] - pts[j][0], pts[i][1] - pts[j][1])
+                <= 12.0
+            )
+            assert net.neighbors(i) == expected
+
+    def test_duplicate_ids_rejected(self):
+        cells = CellGrid(Terrain(10.0), 2)
+        nodes = [
+            SensorNode(0, (1.0, 1.0), 1.0),
+            SensorNode(0, (2.0, 2.0), 1.0),
+        ]
+        with pytest.raises(ValueError):
+            RealNetwork(nodes, cells)
+
+    def test_edge_count_and_degree(self):
+        net = line_network([(0.5, 0.5), (1.5, 0.5), (2.5, 0.5)])
+        assert net.edge_count() == 2
+        assert net.average_degree() == pytest.approx(4 / 3)
+
+    def test_dead_nodes_filtered(self):
+        net = line_network([(0.5, 0.5), (1.5, 0.5), (2.5, 0.5)])
+        net.node(1).kill()
+        assert net.neighbors(0) == []
+        assert net.neighbors(0, alive_only=False) == [1]
+        assert net.alive_ids() == [0, 2]
+
+
+class TestCells:
+    def test_cell_assignment(self):
+        net = make_deployment(side=4)
+        for nid in net.node_ids():
+            node = net.node(nid)
+            assert net.cells.cell_of(node.position) == net.cell_of(nid)
+
+    def test_members_partition_nodes(self):
+        net = make_deployment(side=4)
+        total = sum(
+            len(net.members_of_cell(c, alive_only=False))
+            for c in net.cells.cells()
+        )
+        assert total == len(net)
+
+    def test_members_sorted(self):
+        net = make_deployment(side=4)
+        for cell in net.cells.cells():
+            members = net.members_of_cell(cell)
+            assert members == sorted(members)
+
+
+class TestConnectivity:
+    def test_connected_deployment(self):
+        net = make_deployment(side=4)
+        assert net.is_connected()
+
+    def test_disconnected_detected(self):
+        net = line_network([(0.5, 0.5), (9.5, 9.5)], tx_range=1.0)
+        assert not net.is_connected()
+
+    def test_single_node_connected(self):
+        net = line_network([(0.5, 0.5)])
+        assert net.is_connected()
+
+    def test_cell_subgraph_connected(self):
+        net = make_deployment(side=4)
+        assert net.all_cell_subgraphs_connected()
+
+    def test_cell_subgraph_disconnected(self):
+        # two nodes in cell (0,0), out of range of each other, plus a
+        # relay in another cell: globally connected, cell-locally not
+        cells = CellGrid(Terrain(10.0), 2)
+        net = line_network(
+            [(0.5, 0.5), (4.5, 4.5), (5.5, 1.5)], tx_range=5.2, cells=cells
+        )
+        assert net.cell_of(0) == (0, 0) and net.cell_of(1) == (0, 0)
+        assert net.cell_of(2) == (1, 0)
+        assert not net.cell_subgraph_connected((0, 0))
+        assert net.is_connected()
+
+    def test_empty_cell_not_connected(self):
+        cells = CellGrid(Terrain(10.0), 2)
+        net = line_network([(0.5, 0.5)], cells=cells)
+        assert not net.cell_subgraph_connected((1, 1))
+
+    def test_all_cells_covered(self):
+        net = make_deployment(side=4)
+        assert net.all_cells_covered()
+        net_sparse = line_network([(0.5, 0.5)])
+        assert not net_sparse.all_cells_covered()
+
+    def test_validate_preconditions_reports(self):
+        net = line_network([(0.5, 0.5)])
+        problems = net.validate_protocol_preconditions()
+        assert any("cells" in p for p in problems)
+
+    def test_validate_good_deployment_empty(self):
+        assert make_deployment(side=4).validate_protocol_preconditions() == []
+
+
+class TestPaths:
+    def test_shortest_hop_path(self):
+        net = line_network([(0.5, 0.5), (1.5, 0.5), (2.5, 0.5), (3.5, 0.5)])
+        assert net.shortest_hop_path(0, 3) == [0, 1, 2, 3]
+
+    def test_path_to_self(self):
+        net = line_network([(0.5, 0.5)])
+        assert net.shortest_hop_path(0, 0) == [0]
+
+    def test_unreachable_returns_none(self):
+        net = line_network([(0.5, 0.5), (9.5, 9.5)], tx_range=1.0)
+        assert net.shortest_hop_path(0, 1) is None
+
+    def test_path_avoids_dead_nodes(self):
+        # square: 0-1-3 and 0-2-3
+        net = line_network(
+            [(0.5, 0.5), (1.5, 0.5), (0.5, 1.5), (1.5, 1.5)], tx_range=1.1
+        )
+        net.node(1).kill()
+        path = net.shortest_hop_path(0, 3)
+        assert path == [0, 2, 3]
+
+    def test_distance(self):
+        net = line_network([(0.0, 0.0), (3.0, 4.0)], tx_range=10.0)
+        assert net.distance(0, 1) == pytest.approx(5.0)

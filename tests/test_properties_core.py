@@ -1,0 +1,180 @@
+"""Property-based tests for core invariants: Morton order, routing,
+group hierarchy, cost metrics, and the synthesized program."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.coords import (
+    manhattan,
+    morton_decode,
+    morton_encode,
+    xy_route,
+)
+from repro.core.cost_model import EnergyLedger, energy_balance
+from repro.core.executor import execute_round
+from repro.core.groups import HierarchicalGroups
+from repro.core.network_model import OrientedGrid
+from repro.core.synthesis import CountAggregation, synthesize_quadtree_program
+
+coords = st.tuples(
+    st.integers(min_value=0, max_value=500), st.integers(min_value=0, max_value=500)
+)
+
+
+class TestMortonProperties:
+    @given(coords)
+    def test_roundtrip(self, c):
+        assert morton_decode(morton_encode(c)) == c
+
+    @given(st.integers(min_value=0, max_value=10**9))
+    def test_inverse_roundtrip(self, i):
+        assert morton_encode(morton_decode(i)) == i
+
+    @given(coords, coords)
+    def test_injective(self, a, b):
+        if a != b:
+            assert morton_encode(a) != morton_encode(b)
+
+    @given(coords)
+    def test_quadrant_prefix(self, c):
+        # shifting coords right by 1 shifts the Morton code right by 2:
+        # parent quadrant is a prefix of the child code
+        x, y = c
+        assert morton_encode((x // 2, y // 2)) == morton_encode(c) >> 2
+
+
+class TestRoutingProperties:
+    @given(coords, coords)
+    def test_route_length_is_manhattan(self, a, b):
+        path = xy_route(a, b)
+        assert len(path) == manhattan(a, b) + 1
+
+    @given(coords, coords)
+    def test_route_steps_unit(self, a, b):
+        path = xy_route(a, b)
+        for u, v in zip(path, path[1:]):
+            assert manhattan(u, v) == 1
+
+    @given(coords, coords, coords)
+    def test_triangle_inequality(self, a, b, c):
+        assert manhattan(a, c) <= manhattan(a, b) + manhattan(b, c)
+
+
+grid_exp = st.integers(min_value=0, max_value=5)
+
+
+class TestGroupProperties:
+    @given(grid_exp, st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_leader_idempotent(self, exp, data):
+        side = 2**exp
+        groups = HierarchicalGroups(OrientedGrid(side))
+        x = data.draw(st.integers(0, side - 1))
+        y = data.draw(st.integers(0, side - 1))
+        level = data.draw(st.integers(0, groups.max_level))
+        leader = groups.leader((x, y), level)
+        assert groups.leader(leader, level) == leader
+
+    @given(grid_exp, st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_member_of_own_group(self, exp, data):
+        side = 2**exp
+        groups = HierarchicalGroups(OrientedGrid(side))
+        x = data.draw(st.integers(0, side - 1))
+        y = data.draw(st.integers(0, side - 1))
+        level = data.draw(st.integers(0, groups.max_level))
+        assert (x, y) in groups.members((x, y), level)
+
+    @given(grid_exp, st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_groups_nest(self, exp, data):
+        # the level-k group of a node is contained in its level-(k+1) group
+        side = 2**exp
+        groups = HierarchicalGroups(OrientedGrid(side))
+        if groups.max_level == 0:
+            return
+        x = data.draw(st.integers(0, side - 1))
+        y = data.draw(st.integers(0, side - 1))
+        level = data.draw(st.integers(0, groups.max_level - 1))
+        inner = set(groups.members((x, y), level))
+        outer = set(groups.members((x, y), level + 1))
+        assert inner <= outer
+
+    @given(grid_exp)
+    @settings(max_examples=10, deadline=None)
+    def test_child_leaders_cover_block(self, exp):
+        side = 2**exp
+        groups = HierarchicalGroups(OrientedGrid(side))
+        for level in range(1, groups.max_level + 1):
+            for leader in groups.leaders_at(level):
+                children = groups.child_leaders(leader, level)
+                assert len(children) == 4
+                # children lead disjoint sub-blocks covering the block
+                covered = set()
+                for ch in children:
+                    covered |= set(groups.members(ch, level - 1))
+                assert covered == set(groups.members(leader, level))
+
+
+class TestLedgerProperties:
+    @given(
+        st.dictionaries(
+            st.integers(0, 20), st.floats(0.0, 100.0), min_size=0, max_size=20
+        )
+    )
+    def test_balance_in_unit_interval(self, charges):
+        ledger = EnergyLedger()
+        for node, amount in charges.items():
+            ledger.charge(node, amount)
+        assert 0.0 <= energy_balance(ledger) <= 1.0
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 5), st.floats(0.0, 10.0)),
+            min_size=0,
+            max_size=30,
+        )
+    )
+    def test_total_is_sum(self, charges):
+        ledger = EnergyLedger()
+        for node, amount in charges.items() if isinstance(charges, dict) else charges:
+            ledger.charge(node, amount)
+        assert ledger.total == pytest.approx(
+            sum(a for _, a in charges), abs=1e-9
+        )
+
+
+class TestProgramProperties:
+    @given(st.integers(min_value=0, max_value=4), st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_count_reduction_exact_for_any_feature_set(self, exp, data):
+        side = 2**exp
+        n_features = data.draw(st.integers(0, side * side))
+        chosen = data.draw(
+            st.sets(
+                st.tuples(
+                    st.integers(0, side - 1), st.integers(0, side - 1)
+                ),
+                max_size=n_features,
+            )
+        )
+        groups = HierarchicalGroups(OrientedGrid(side))
+        spec = synthesize_quadtree_program(
+            groups, CountAggregation(lambda c: c in chosen)
+        )
+        result = execute_round(spec)
+        assert result.root_payload == len(chosen)
+
+    @given(st.integers(min_value=1, max_value=5))
+    @settings(max_examples=5, deadline=None)
+    def test_message_count_closed_form(self, exp):
+        side = 2**exp
+        groups = HierarchicalGroups(OrientedGrid(side))
+        spec = synthesize_quadtree_program(groups, CountAggregation(lambda c: True))
+        result = execute_round(spec)
+        # 3 messages per group, sum over levels of 4^(m-k) groups = N-1 ... / 3:
+        expected = sum(3 * 4 ** (exp - k) for k in range(1, exp + 1))
+        assert result.messages == expected

@@ -1,0 +1,128 @@
+"""Unit tests for runtime maintenance: churn, recovery, leader rotation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import CountAggregation, VirtualArchitecture
+from repro.runtime import (
+    deploy,
+    kill_leaders,
+    kill_random_nodes,
+    recover,
+    rotate_leaders,
+)
+
+from conftest import make_deployment
+
+
+class TestFailureInjection:
+    def test_kill_random_fraction(self):
+        net = make_deployment(side=4, n_random=200, seed=3)
+        n_alive = len(net.alive_ids())
+        killed = kill_random_nodes(net, 0.25, rng=1)
+        assert len(killed) == round(0.25 * n_alive)
+        assert all(not net.node(k).alive for k in killed)
+
+    def test_kill_respects_spare(self):
+        net = make_deployment(side=4, n_random=100, seed=3)
+        spare = net.node_ids()[:10]
+        killed = kill_random_nodes(net, 1.0, rng=1, spare=spare)
+        assert not set(killed) & set(spare)
+        assert all(net.node(s).alive for s in spare)
+
+    def test_kill_fraction_validation(self):
+        net = make_deployment(side=4)
+        with pytest.raises(ValueError):
+            kill_random_nodes(net, 1.5)
+
+    def test_kill_leaders(self):
+        net = make_deployment(side=4, seed=5)
+        stack = deploy(net)
+        killed = kill_leaders(net, stack.binding, cells=[(0, 0), (1, 1)])
+        assert len(killed) == 2
+        assert not net.node(stack.binding.leaders[(0, 0)]).alive
+
+    def test_kill_all_leaders(self):
+        net = make_deployment(side=4, seed=5)
+        stack = deploy(net)
+        killed = kill_leaders(net, stack.binding)
+        assert len(killed) == 16
+
+
+class TestRecovery:
+    def test_recover_after_leader_death(self):
+        net = make_deployment(side=4, n_random=200, seed=7)
+        stack = deploy(net)
+        kill_leaders(net, stack.binding, cells=[(2, 2)])
+        report = recover(net, previous=stack)
+        assert report.recovered
+        assert report.reelected_cells >= 1
+        new_leader = report.stack.binding.leaders[(2, 2)]
+        assert net.node(new_leader).alive
+
+    def test_recovered_stack_runs_application(self):
+        net = make_deployment(side=4, n_random=200, seed=7)
+        stack = deploy(net)
+        kill_leaders(net, stack.binding)
+        report = recover(net, previous=stack)
+        assert report.recovered
+        va = VirtualArchitecture(4)
+        run = report.stack.run_application(
+            va.synthesize(CountAggregation(lambda c: True))
+        )
+        assert run.root_payload == 16
+
+    def test_recovery_fails_when_cell_emptied(self):
+        net = make_deployment(side=4, n_random=0, seed=7)  # one node per cell
+        stack = deploy(net)
+        kill_leaders(net, stack.binding, cells=[(3, 3)])
+        report = recover(net, previous=stack)
+        assert not report.recovered
+        assert any("cells" in p for p in report.precondition_problems)
+        assert report.stack is None
+
+    def test_recovery_counts_setup_costs(self):
+        net = make_deployment(side=4, seed=7)
+        report = recover(net)
+        assert report.recovered
+        assert report.setup_messages > 0
+        assert report.setup_energy > 0
+
+
+class TestLeaderRotation:
+    def test_rotation_prefers_full_batteries(self):
+        net = make_deployment(side=4, n_random=200, seed=11)
+        stack = deploy(net)
+        # drain the current leaders heavily
+        for leader in stack.binding.leaders.values():
+            net.node(leader).draw(1000.0)
+        rotated = rotate_leaders(net)
+        moved = sum(
+            1
+            for cell in net.cells.cells()
+            if rotated.binding.leaders[cell] != stack.binding.leaders[cell]
+        )
+        assert moved >= 12  # nearly all cells rotate away from drained nodes
+
+    def test_rotation_balances_drain_over_rounds(self):
+        net = make_deployment(side=4, n_random=150, seed=13)
+        va = VirtualArchitecture(4)
+        stack = deploy(net)
+        leaders_seen = {cell: set() for cell in net.cells.cells()}
+        for _ in range(3):
+            for cell, leader in stack.binding.leaders.items():
+                leaders_seen[cell].add(leader)
+            run = stack.run_application(
+                va.synthesize(CountAggregation(lambda c: True))
+            )
+            assert run.root_payload == 16
+            # emulate heavy leader drain, then rotate
+            for leader in stack.binding.leaders.values():
+                net.node(leader).draw(500.0)
+            stack = rotate_leaders(net)
+        multi_leader_cells = [
+            cell for cell, seen in leaders_seen.items() if len(seen) > 1
+        ]
+        assert len(multi_leader_cells) >= 8

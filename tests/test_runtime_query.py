@@ -1,0 +1,140 @@
+"""Unit tests for deployed query execution."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.apps import (
+    MergeAccumulator,
+    count_regions,
+    feature_matrix_aggregation,
+    random_feature_matrix,
+)
+from repro.core import VirtualArchitecture
+from repro.runtime import deploy
+from repro.runtime.query import run_deployed_query
+
+from conftest import make_deployment
+
+
+@pytest.fixture(scope="module")
+def stack_with_storage():
+    net = make_deployment(side=4, n_random=120, seed=7)
+    stack = deploy(net)
+    feat = random_feature_matrix(4, 0.5, rng=2)
+    va = VirtualArchitecture(4)
+    spec = va.synthesize(feature_matrix_aggregation(feat), max_level=1)
+    run = stack.run_application(spec)
+    assert len(run.exfiltrated) == 4  # level-1 storage leaders
+    return net, stack, feat, run.exfiltrated
+
+
+class TestDeployedQueries:
+    def test_count_query_sums_local_counts(self, stack_with_storage):
+        _, stack, feat, storage = stack_with_storage
+        result = run_deployed_query(
+            stack,
+            {cell: s.total_regions() for cell, s in storage.items()},
+            query_cell=(3, 3),
+            reduce_fn=sum,
+        )
+        # sum-of-local-counts equals the design-time fast query's value
+        expected = sum(s.total_regions() for s in storage.values())
+        assert result.value == expected
+        assert result.responses == len(storage) - (1 if (3, 3) in storage else 0)
+        assert result.drops == 0
+
+    def test_exact_count_via_summary_shipping(self, stack_with_storage):
+        _, stack, feat, storage = stack_with_storage
+
+        def merge_all(summaries):
+            acc = MergeAccumulator((0, 0, 4, 4))
+            for s in summaries:
+                acc.add(s)
+            return acc.finalize().total_regions()
+
+        result = run_deployed_query(
+            stack,
+            dict(storage),
+            query_cell=(0, 0),
+            reduce_fn=merge_all,
+            response_size_of=lambda s: s.size_units,
+        )
+        assert result.value == count_regions(feat)
+
+    def test_query_from_storage_cell_skips_self_roundtrip(
+        self, stack_with_storage
+    ):
+        _, stack, feat, storage = stack_with_storage
+        assert (0, 0) in storage
+        result = run_deployed_query(
+            stack,
+            {cell: 1 for cell in storage},
+            query_cell=(0, 0),
+            reduce_fn=sum,
+        )
+        assert result.value == len(storage)
+        assert result.responses == len(storage) - 1  # own count was local
+
+    def test_query_cost_less_than_gathering(self, stack_with_storage):
+        net, stack, feat, storage = stack_with_storage
+        va = VirtualArchitecture(4)
+        gather_run = stack.run_application(
+            va.synthesize(feature_matrix_aggregation(feat), max_level=1)
+        )
+        query = run_deployed_query(
+            stack,
+            {cell: s.total_regions() for cell, s in storage.items()},
+            query_cell=(1, 1),
+            reduce_fn=sum,
+        )
+        assert query.energy < gather_run.ledger.total
+
+    def test_invalid_query_cell(self, stack_with_storage):
+        _, stack, _, storage = stack_with_storage
+        with pytest.raises(ValueError):
+            run_deployed_query(
+                stack, dict(storage), query_cell=(9, 9), reduce_fn=len
+            )
+
+    def test_deterministic(self, stack_with_storage):
+        _, stack, _, storage = stack_with_storage
+        kwargs = dict(
+            storage={cell: 1 for cell in storage},
+            query_cell=(2, 2),
+            reduce_fn=sum,
+        )
+        a = run_deployed_query(stack, **kwargs)
+        b = run_deployed_query(stack, **kwargs)
+        assert (a.value, a.latency, a.transmissions) == (
+            b.value,
+            b.latency,
+            b.transmissions,
+        )
+
+    def test_lossy_query_degrades_not_corrupts(self, stack_with_storage):
+        _, stack, _, storage = stack_with_storage
+        result = run_deployed_query(
+            stack,
+            {cell: 1 for cell in storage},
+            query_cell=(3, 0),
+            reduce_fn=sum,
+            loss_rate=0.3,
+            rng=np.random.default_rng(1),
+        )
+        # some responses may be lost; the answer is a lower bound
+        assert result.value <= len(storage)
+
+    def test_reliable_query_survives_loss(self, stack_with_storage):
+        _, stack, _, storage = stack_with_storage
+        result = run_deployed_query(
+            stack,
+            {cell: 1 for cell in storage},
+            query_cell=(3, 0),
+            reduce_fn=sum,
+            loss_rate=0.25,
+            rng=np.random.default_rng(3),
+            reliable=True,
+        )
+        assert result.value == len(storage)  # every response got through

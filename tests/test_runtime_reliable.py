@@ -1,0 +1,111 @@
+"""Unit tests for the reliable (hop-by-hop ARQ) transport mode."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.apps import (
+    count_regions,
+    feature_matrix_aggregation,
+    random_feature_matrix,
+)
+from repro.core import CountAggregation, VirtualArchitecture
+from repro.runtime import deploy
+
+from conftest import make_deployment
+
+
+@pytest.fixture(scope="module")
+def stack4():
+    net = make_deployment(side=4, seed=3)
+    return net, deploy(net)
+
+
+class TestReliableTransport:
+    def test_lossless_reliable_equals_unreliable_result(self, stack4):
+        _, stack = stack4
+        va = VirtualArchitecture(4)
+        agg = CountAggregation(lambda c: True)
+        plain = stack.run_application(va.synthesize(agg))
+        reliable = stack.run_application(va.synthesize(agg), reliable=True)
+        assert plain.root_payload == reliable.root_payload == 16
+
+    def test_reliable_adds_ack_traffic(self, stack4):
+        _, stack = stack4
+        va = VirtualArchitecture(4)
+        agg = CountAggregation(lambda c: True)
+        plain = stack.run_application(va.synthesize(agg))
+        reliable = stack.run_application(va.synthesize(agg), reliable=True)
+        # one ack per forwarded hop: transmissions roughly double
+        assert reliable.transmissions > 1.5 * plain.transmissions
+
+    @pytest.mark.parametrize("loss", [0.05, 0.15, 0.3])
+    def test_completes_correctly_under_loss(self, stack4, loss):
+        _, stack = stack4
+        va = VirtualArchitecture(4)
+        feat = random_feature_matrix(4, 0.5, rng=4)
+        truth = count_regions(feat)
+        completed = 0
+        for i in range(4):
+            run = stack.run_application(
+                va.synthesize(feature_matrix_aggregation(feat)),
+                loss_rate=loss,
+                rng=np.random.default_rng(1000 + i),
+                reliable=True,
+                max_retries=6,
+            )
+            if run.exfiltrated:
+                assert run.root_payload.total_regions() == truth
+                completed += 1
+        assert completed >= 3  # ARQ nearly always completes
+
+    def test_unreliable_stalls_where_reliable_succeeds(self, stack4):
+        _, stack = stack4
+        va = VirtualArchitecture(4)
+        agg = CountAggregation(lambda c: True)
+        rng_seed = 5
+        plain = stack.run_application(
+            va.synthesize(agg), loss_rate=0.15, rng=np.random.default_rng(rng_seed)
+        )
+        reliable = stack.run_application(
+            va.synthesize(agg),
+            loss_rate=0.15,
+            rng=np.random.default_rng(rng_seed),
+            reliable=True,
+        )
+        assert not plain.exfiltrated  # the stall E8 documents
+        assert reliable.root_payload == 16
+
+    def test_retry_budget_exhaustion_drops(self, stack4):
+        _, stack = stack4
+        va = VirtualArchitecture(4)
+        agg = CountAggregation(lambda c: True)
+        # absurd loss: even ARQ gives up within its retry budget,
+        # recording drops rather than looping forever
+        run = stack.run_application(
+            va.synthesize(agg),
+            loss_rate=0.9,
+            rng=np.random.default_rng(2),
+            reliable=True,
+            max_retries=2,
+        )
+        assert run.drops > 0
+        assert not run.exfiltrated
+
+    def test_duplicate_suppression(self, stack4):
+        # lost acks cause retransmissions; dedup keeps the merge exact
+        _, stack = stack4
+        va = VirtualArchitecture(4)
+        feat = random_feature_matrix(4, 0.6, rng=6)
+        truth = count_regions(feat)
+        run = stack.run_application(
+            va.synthesize(feature_matrix_aggregation(feat)),
+            loss_rate=0.25,
+            rng=np.random.default_rng(7),
+            reliable=True,
+            max_retries=8,
+        )
+        if run.exfiltrated:
+            # duplicates would double-merge a child and corrupt the count
+            assert run.root_payload.total_regions() == truth

@@ -1,0 +1,174 @@
+"""Unit tests for the transport layer and the deployed full stack."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.apps import (
+    count_regions,
+    feature_matrix_aggregation,
+    random_feature_matrix,
+)
+from repro.core import (
+    CountAggregation,
+    SumAggregation,
+    VirtualArchitecture,
+)
+from repro.core.coords import Direction
+from repro.runtime import deploy, next_direction, trace_route
+from repro.runtime.stack import DeployedStack
+
+from conftest import make_deployment
+
+
+@pytest.fixture(scope="module")
+def stack4():
+    net = make_deployment(side=4)
+    return net, deploy(net)
+
+
+class TestNextDirection:
+    def test_x_first(self):
+        assert next_direction((0, 0), (2, 2)) is Direction.EAST
+        assert next_direction((3, 0), (1, 2)) is Direction.WEST
+
+    def test_y_when_aligned(self):
+        assert next_direction((2, 0), (2, 3)) is Direction.SOUTH
+        assert next_direction((2, 3), (2, 0)) is Direction.NORTH
+
+    def test_same_cell_rejected(self):
+        with pytest.raises(ValueError):
+            next_direction((1, 1), (1, 1))
+
+
+class TestTraceRoute:
+    def test_route_endpoints_are_leaders(self, stack4):
+        net, stack = stack4
+        path = trace_route(stack.topology, stack.binding, (0, 0), (3, 3))
+        assert path[0] == stack.binding.leader_of((0, 0))
+        assert path[-1] == stack.binding.leader_of((3, 3))
+
+    def test_route_hops_are_radio_links(self, stack4):
+        net, stack = stack4
+        path = trace_route(stack.topology, stack.binding, (0, 3), (3, 0))
+        for a, b in zip(path, path[1:]):
+            assert b in net.neighbors(a)
+
+    def test_route_cells_follow_xy(self, stack4):
+        net, stack = stack4
+        path = trace_route(stack.topology, stack.binding, (0, 0), (2, 1))
+        cells = []
+        for nid in path:
+            c = net.cell_of(nid)
+            if not cells or cells[-1] != c:
+                cells.append(c)
+        # XY over cells: x ascends first, then y
+        assert cells == [(0, 0), (1, 0), (2, 0), (2, 1)]
+
+    def test_route_to_same_cell(self, stack4):
+        net, stack = stack4
+        path = trace_route(stack.topology, stack.binding, (1, 1), (1, 1))
+        assert path == [stack.binding.leader_of((1, 1))]
+
+    def test_all_pairs_routable(self, stack4):
+        net, stack = stack4
+        cells = list(net.cells.cells())
+        for src in cells:
+            for dst in cells:
+                path = trace_route(stack.topology, stack.binding, src, dst)
+                assert net.cell_of(path[-1]) == dst
+
+
+class TestSetupReport:
+    def test_setup_totals(self, stack4):
+        _, stack = stack4
+        assert stack.setup.total_messages == (
+            stack.setup.emulation.messages + stack.setup.binding.messages
+        )
+        assert stack.setup.total_energy > 0
+
+    def test_strict_precondition_check(self):
+        from repro.deployment import CellGrid, Terrain, build_network
+
+        cells = CellGrid(Terrain(100.0), 4)
+        net = build_network([(1.0, 1.0)], cells, tx_range=10.0)
+        with pytest.raises(RuntimeError, match="preconditions"):
+            deploy(net)
+
+
+class TestDeployedApplication:
+    def test_count_aggregation_correct(self, stack4):
+        _, stack = stack4
+        va = VirtualArchitecture(4)
+        spec = va.synthesize(CountAggregation(lambda c: c[0] < 2))
+        run = stack.run_application(spec)
+        assert run.root_payload == 8
+        assert run.drops == 0
+
+    def test_region_labeling_matches_oracle(self, stack4):
+        _, stack = stack4
+        rng = np.random.default_rng(31)
+        va = VirtualArchitecture(4)
+        for _ in range(5):
+            feat = random_feature_matrix(4, float(rng.uniform(0.2, 0.8)), rng)
+            spec = va.synthesize(feature_matrix_aggregation(feat))
+            run = stack.run_application(spec)
+            assert run.root_payload.total_regions() == count_regions(feat)
+
+    def test_partial_reduction_storage(self, stack4):
+        _, stack = stack4
+        va = VirtualArchitecture(4)
+        spec = va.synthesize(CountAggregation(lambda c: True), max_level=1)
+        run = stack.run_application(spec)
+        assert len(run.exfiltrated) == 4
+        assert all(v == 4 for v in run.exfiltrated.values())
+
+    def test_grid_mismatch_rejected(self, stack4):
+        _, stack = stack4
+        va8 = VirtualArchitecture(8)
+        spec = va8.synthesize(CountAggregation(lambda c: True))
+        with pytest.raises(ValueError, match="does not match"):
+            stack.run_application(spec)
+
+    def test_energy_drawn_from_batteries(self, stack4):
+        net, stack = stack4
+        va = VirtualArchitecture(4)
+        before = {nid: net.node(nid).consumed_energy for nid in net.node_ids()}
+        spec = va.synthesize(SumAggregation(lambda c: 1.0))
+        run = stack.run_application(spec)
+        drained = sum(
+            net.node(nid).consumed_energy - before[nid] for nid in net.node_ids()
+        )
+        assert drained == pytest.approx(run.ledger.total)
+        assert drained > 0
+
+    def test_physical_cost_exceeds_virtual(self, stack4):
+        # the deployed run pays real multi-hop forwarding; the virtual
+        # executor's grid-hop costs are a lower-level idealization
+        _, stack = stack4
+        va = VirtualArchitecture(4)
+        agg = CountAggregation(lambda c: True)
+        virtual = va.execute(agg, charge_compute=False)
+        deployed = stack.run_application(va.synthesize(agg))
+        assert deployed.transmissions >= virtual.messages
+
+    def test_repeated_rounds_accumulate(self, stack4):
+        net, stack = stack4
+        va = VirtualArchitecture(4)
+        spec = va.synthesize(CountAggregation(lambda c: True))
+        r1 = stack.run_application(spec)
+        spec2 = va.synthesize(CountAggregation(lambda c: True))
+        r2 = stack.run_application(spec2)
+        assert r1.root_payload == r2.root_payload == 16
+
+    def test_message_loss_degrades_gracefully(self):
+        net = make_deployment(side=4, seed=41)
+        stack = deploy(net)
+        va = VirtualArchitecture(4)
+        spec = va.synthesize(CountAggregation(lambda c: True))
+        run = stack.run_application(
+            spec, loss_rate=0.4, rng=np.random.default_rng(2)
+        )
+        # under heavy loss the round may not complete, but must terminate
+        assert len(run.exfiltrated) <= 1

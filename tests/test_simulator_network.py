@@ -1,0 +1,286 @@
+"""Unit tests for the wireless medium and node processes."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.cost_model import UniformCostModel
+from repro.deployment.node import SensorNode
+from repro.deployment.terrain import CellGrid, Terrain
+from repro.deployment.topology import RealNetwork
+from repro.simulator.engine import Simulator
+from repro.simulator.network import Packet, WirelessMedium
+from repro.simulator.process import Process, ProcessHost
+
+
+def triangle_network(tx_range=2.0):
+    """Three mutually connected nodes."""
+    cells = CellGrid(Terrain(10.0), 1)
+    nodes = [
+        SensorNode(0, (1.0, 1.0), tx_range),
+        SensorNode(1, (2.0, 1.0), tx_range),
+        SensorNode(2, (1.0, 2.0), tx_range),
+    ]
+    return RealNetwork(nodes, cells)
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+@pytest.fixture
+def medium(sim):
+    return WirelessMedium(sim, triangle_network())
+
+
+class Recorder(Process):
+    def __init__(self):
+        super().__init__()
+        self.packets = []
+
+    def on_packet(self, packet: Packet) -> None:
+        self.packets.append((self.now, packet))
+
+
+class TestBroadcast:
+    def test_broadcast_reaches_all_neighbors(self, sim, medium):
+        host = ProcessHost(sim, medium)
+        host.add_all(lambda nid: Recorder())
+        delivered = medium.broadcast(0, "k", "payload")
+        sim.run()
+        assert delivered == 2
+        assert len(host.get(1).packets) == 1
+        assert len(host.get(2).packets) == 1
+        assert host.get(0).packets == []
+
+    def test_broadcast_energy_single_tx(self, sim, medium):
+        medium.broadcast(0, "k", None, size_units=2.0)
+        sim.run()
+        # one tx of 2 units + two rx of 2 units
+        assert medium.ledger.consumed(0) == 2.0
+        assert medium.ledger.consumed(1) == 2.0
+        assert medium.ledger.consumed(2) == 2.0
+
+    def test_broadcast_draws_battery(self, sim, medium):
+        node0 = medium.network.node(0)
+        before = node0.residual_energy
+        medium.broadcast(0, "k", None)
+        sim.run()
+        assert node0.residual_energy == before - 1.0
+
+    def test_dead_source_sends_nothing(self, sim, medium):
+        medium.network.node(0).kill()
+        assert medium.broadcast(0, "k", None) == 0
+        sim.run()
+        assert medium.stats.transmissions == 0
+
+    def test_dead_receiver_skipped(self, sim, medium):
+        host = ProcessHost(sim, medium)
+        host.add_all(lambda nid: Recorder())
+        medium.network.node(1).kill()
+        delivered = medium.broadcast(0, "k", None)
+        sim.run()
+        assert delivered == 1
+
+    def test_delivery_latency(self, sim, medium):
+        host = ProcessHost(sim, medium)
+        host.add_all(lambda nid: Recorder())
+        medium.broadcast(0, "k", None, size_units=3.0)
+        sim.run()
+        t, _ = host.get(1).packets[0]
+        assert t == 3.0  # tx_latency of 3 units at unit bandwidth
+
+
+class TestUnicast:
+    def test_unicast_addressed_only(self, sim, medium):
+        host = ProcessHost(sim, medium)
+        host.add_all(lambda nid: Recorder())
+        ok = medium.unicast(0, 1, "k", "data")
+        sim.run()
+        assert ok
+        assert len(host.get(1).packets) == 1
+        assert host.get(2).packets == []
+
+    def test_unicast_requires_neighbor(self, sim):
+        cells = CellGrid(Terrain(10.0), 1)
+        nodes = [
+            SensorNode(0, (1.0, 1.0), 1.5),
+            SensorNode(1, (5.0, 5.0), 1.5),
+        ]
+        net = RealNetwork(nodes, cells)
+        medium = WirelessMedium(sim, net)
+        with pytest.raises(ValueError):
+            medium.unicast(0, 1, "k", None)
+
+    def test_unicast_charges_only_addressee(self, sim, medium):
+        medium.unicast(0, 1, "k", None)
+        sim.run()
+        assert medium.ledger.consumed(1) == 1.0
+        assert medium.ledger.consumed(2) == 0.0
+
+
+class TestLossAndJitter:
+    def test_loss_rate_drops_packets(self, sim):
+        medium = WirelessMedium(
+            sim, triangle_network(), loss_rate=0.5, rng=np.random.default_rng(0)
+        )
+        total_delivered = 0
+        for _ in range(200):
+            total_delivered += medium.broadcast(0, "k", None)
+        sim.run()
+        # 400 delivery opportunities at 50% loss
+        assert 140 < total_delivered < 260
+        assert medium.stats.drops == 400 - total_delivered
+
+    def test_loss_rate_validation(self, sim):
+        with pytest.raises(ValueError):
+            WirelessMedium(sim, triangle_network(), loss_rate=1.0)
+        with pytest.raises(ValueError):
+            WirelessMedium(sim, triangle_network(), jitter=-0.1)
+
+    def test_jitter_spreads_arrivals(self, sim):
+        medium = WirelessMedium(
+            sim, triangle_network(), jitter=0.5, rng=np.random.default_rng(1)
+        )
+        host = ProcessHost(sim, medium)
+        host.add_all(lambda nid: Recorder())
+        medium.broadcast(0, "k", None)
+        sim.run()
+        t1 = host.get(1).packets[0][0]
+        t2 = host.get(2).packets[0][0]
+        assert t1 != t2
+        assert 1.0 <= min(t1, t2) and max(t1, t2) <= 1.5
+
+    def test_deterministic_with_seed(self):
+        def run(seed):
+            sim = Simulator()
+            medium = WirelessMedium(
+                sim, triangle_network(), loss_rate=0.3,
+                rng=np.random.default_rng(seed),
+            )
+            got = [medium.broadcast(0, "k", None) for _ in range(50)]
+            sim.run()
+            return got
+
+        assert run(7) == run(7)
+        assert run(7) != run(8)
+
+
+class TestStats:
+    def test_kind_breakdown(self, sim, medium):
+        medium.broadcast(0, "a", None)
+        medium.broadcast(0, "a", None)
+        medium.unicast(0, 1, "b", None)
+        sim.run()
+        assert medium.stats.tx_of_kind("a") == 2
+        assert medium.stats.tx_of_kind("b") == 1
+        assert medium.stats.by_kind_rx["a"] == 4
+
+    def test_summary_shape(self, sim, medium):
+        medium.broadcast(0, "k", None)
+        sim.run()
+        summary = medium.stats.summary()
+        assert summary["transmissions"] == 1.0
+        assert summary["deliveries"] == 2.0
+
+
+class TestProcessHost:
+    def test_on_start_called(self, sim, medium):
+        started = []
+
+        class Starter(Process):
+            def on_start(self):
+                started.append(self.node_id)
+
+        host = ProcessHost(sim, medium)
+        host.add_all(lambda nid: Starter())
+        host.start()
+        sim.run()
+        assert sorted(started) == [0, 1, 2]
+
+    def test_staggered_start(self, sim, medium):
+        times = {}
+
+        class Starter(Process):
+            def on_start(self):
+                times[self.node_id] = self.now
+
+        host = ProcessHost(sim, medium)
+        host.add_all(lambda nid: Starter())
+        host.start(stagger=0.5)
+        sim.run()
+        assert times == {0: 0.0, 1: 0.5, 2: 1.0}
+
+    def test_duplicate_process_rejected(self, sim, medium):
+        host = ProcessHost(sim, medium)
+        host.add(0, Recorder())
+        with pytest.raises(ValueError):
+            host.add(0, Recorder())
+
+    def test_timers(self, sim, medium):
+        class TimerProc(Process):
+            def __init__(self):
+                super().__init__()
+                self.fired = []
+
+            def on_start(self):
+                self.set_timer(2.0, "ping")
+
+            def on_timer(self, tag):
+                self.fired.append((self.now, tag))
+
+        host = ProcessHost(sim, medium)
+        proc = host.add(0, TimerProc())
+        host.start()
+        sim.run()
+        assert proc.fired == [(2.0, "ping")]
+
+    def test_timer_cancel(self, sim, medium):
+        class TimerProc(Process):
+            def __init__(self):
+                super().__init__()
+                self.fired = []
+
+            def on_start(self):
+                self.set_timer(2.0, "ping")
+                self.cancel_timers()
+
+            def on_timer(self, tag):
+                self.fired.append(tag)
+
+        host = ProcessHost(sim, medium)
+        proc = host.add(0, TimerProc())
+        host.start()
+        sim.run()
+        assert proc.fired == []
+
+    def test_dead_node_timer_suppressed(self, sim, medium):
+        class TimerProc(Process):
+            def __init__(self):
+                super().__init__()
+                self.fired = []
+
+            def on_start(self):
+                self.set_timer(2.0, "ping")
+
+            def on_timer(self, tag):
+                self.fired.append(tag)
+
+        host = ProcessHost(sim, medium)
+        proc = host.add(0, TimerProc())
+        host.start()
+        sim.run(until=1.0)
+        medium.network.node(0).kill()
+        sim.run()
+        assert proc.fired == []
+
+    def test_packets_to_dead_node_not_handled(self, sim, medium):
+        host = ProcessHost(sim, medium)
+        host.add_all(lambda nid: Recorder())
+        medium.broadcast(0, "k", None)
+        medium.network.node(1).kill()
+        sim.run()
+        assert host.get(1).packets == []
+        assert len(host.get(2).packets) == 1
