@@ -1,0 +1,32 @@
+#!/usr/bin/env python
+"""CLI entry for the perf-regression harness (thin wrapper over
+``repro.bench`` so it works both as a script and as ``python -m repro.bench``).
+
+Examples::
+
+    PYTHONPATH=src python benchmarks/bench_runner.py                # full run
+    PYTHONPATH=src python benchmarks/bench_runner.py --check        # < 60 s gate
+    PYTHONPATH=src python benchmarks/bench_runner.py \
+        --baseline /tmp/seed_baseline.json                          # 2x gate
+
+The full run writes ``BENCH_micro.json`` and ``BENCH_e1.json`` (events/sec,
+wall time per N, determinism fingerprints) into ``--out-dir`` (default: the
+current directory — run from the repo root to refresh the committed
+trajectory artifacts).
+
+This file intentionally holds no benchmark logic: the workloads, the
+determinism assertions, and the artifact format live in ``repro.bench`` so
+tests can import them.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.bench import main  # noqa: E402
+
+if __name__ == "__main__":
+    sys.exit(main())

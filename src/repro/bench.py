@@ -1,0 +1,358 @@
+"""Perf-regression harness for the simulation stack.
+
+Runs the medium/engine micro-benchmarks and the E1 deployed-scaling
+benchmark, writes ``BENCH_micro.json`` / ``BENCH_e1.json`` trajectory
+artifacts, and asserts the determinism invariants the optimization work
+must preserve:
+
+* same seed, two runs -> identical :class:`MediumStats`, energy ledger,
+  and event counts;
+* batched broadcast fan-out vs. the legacy per-receiver path -> identical
+  :class:`MediumStats` and ledger (event counts intentionally differ: the
+  batch path schedules one delivery event per transmission).
+
+Usage::
+
+    python -m repro.bench                  # full run, writes BENCH_*.json
+    python -m repro.bench --check          # < 60 s smoke mode (tier-2 gate)
+    python -m repro.bench --baseline FILE  # embed pre-change numbers and
+                                           # assert the >= 2x speedup target
+
+The workloads deliberately use only long-stable public APIs so the same
+driver can be pointed at pre-optimization code to record a baseline.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from typing import Any, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from .core import CountAggregation, VirtualArchitecture
+from .deployment import CellGrid, Terrain, build_network, ensure_coverage, uniform_random
+from .deployment.topology import RealNetwork
+from .runtime import deploy
+from .simulator.engine import Simulator
+from .simulator.network import WirelessMedium
+
+#: Version tag of the BENCH_*.json layout.
+SCHEMA = 1
+
+#: The headline acceptance target: optimized medium throughput must be at
+#: least this multiple of the recorded pre-change baseline.
+SPEEDUP_TARGET = 2.0
+
+
+def make_deployment(
+    side: int = 8,
+    n_random: int = 400,
+    terrain_side: float = 100.0,
+    range_cells: float = 2.3,
+    seed: int = 11,
+) -> RealNetwork:
+    """A covered deployment, identical to the baseline driver's."""
+    terrain = Terrain(terrain_side)
+    cells = CellGrid(terrain, side)
+    rng = np.random.default_rng(seed)
+    positions = ensure_coverage(uniform_random(n_random, terrain, rng), cells, rng)
+    return build_network(positions, cells, tx_range=cells.cell_side * range_cells)
+
+
+# ---------------------------------------------------------------------------
+# Workloads
+# ---------------------------------------------------------------------------
+
+
+def medium_broadcast_storm(
+    rounds: int = 40,
+    loss_rate: float = 0.1,
+    seed: int = 11,
+    net: Optional[RealNetwork] = None,
+    batch_fanout: bool = True,
+) -> Dict[str, Any]:
+    """Every alive node broadcasts once per round; pure medium hot path."""
+    if net is None:
+        net = make_deployment(seed=seed)
+    sim = Simulator()
+    medium = WirelessMedium(
+        sim, net, loss_rate=loss_rate,
+        rng=np.random.default_rng(seed), batch_fanout=batch_fanout,
+    )
+    ids = net.alive_ids()
+    t0 = time.perf_counter()
+    for r in range(rounds):
+        for nid in ids:
+            medium.broadcast(nid, "storm", r)
+        sim.run()
+    wall = time.perf_counter() - t0
+    return {
+        "wall_s": wall,
+        "transmissions": medium.stats.transmissions,
+        "deliveries": medium.stats.deliveries,
+        "drops": medium.stats.drops,
+        "events_processed": sim.events_processed,
+        "deliveries_per_s": medium.stats.deliveries / wall,
+    }
+
+
+def unicast_pingpong(
+    count: int = 20000, seed: int = 11, net: Optional[RealNetwork] = None
+) -> Dict[str, Any]:
+    """Repeated unicasts between two neighbours: the per-hop overhead path."""
+    if net is None:
+        net = make_deployment(seed=seed)
+    sim = Simulator()
+    medium = WirelessMedium(sim, net, rng=np.random.default_rng(seed))
+    # highest-degree node: worst case for a linear neighbour-membership scan
+    src = max(net.node_ids(), key=lambda n: len(net.neighbors(n, alive_only=False)))
+    dst = net.neighbors(src)[0]
+    t0 = time.perf_counter()
+    for i in range(count):
+        medium.unicast(src, dst, "ping", i)
+        if i % 64 == 63:
+            sim.run()
+    sim.run()
+    wall = time.perf_counter() - t0
+    return {
+        "wall_s": wall,
+        "transmissions": medium.stats.transmissions,
+        "deliveries": medium.stats.deliveries,
+        "events_processed": sim.events_processed,
+        "unicasts_per_s": count / wall,
+    }
+
+
+def engine_event_pump(events: int = 200000) -> Dict[str, Any]:
+    """Timer-chain through the raw engine: scheduling + dispatch overhead."""
+    sim = Simulator()
+    remaining = [events]
+
+    def tick():
+        remaining[0] -= 1
+        if remaining[0] > 0:
+            sim.schedule(1.0, tick)
+
+    sim.schedule(0.0, tick)
+    t0 = time.perf_counter()
+    sim.run()
+    wall = time.perf_counter() - t0
+    return {
+        "wall_s": wall,
+        "events_processed": sim.events_processed,
+        "events_per_s": sim.events_processed / wall,
+    }
+
+
+def e1_deployed_scaling(
+    sides: Sequence[int] = (4, 8), seed: int = 11
+) -> List[Dict[str, Any]]:
+    """End-to-end ``run_application`` wall time across deployment sizes."""
+    rows = []
+    for side in sides:
+        net = make_deployment(side=side, n_random=side * side * 7, seed=seed)
+        stack = deploy(net)
+        va = VirtualArchitecture(side)
+        spec = va.synthesize(CountAggregation(lambda c: True))
+        t0 = time.perf_counter()
+        result = stack.run_application(spec)
+        wall = time.perf_counter() - t0
+        assert result.root_payload == side * side
+        rows.append(
+            {
+                "side": side,
+                "n_nodes": len(net),
+                "wall_s": wall,
+                "transmissions": result.transmissions,
+                "tx_per_s": result.transmissions / wall,
+            }
+        )
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Determinism assertions
+# ---------------------------------------------------------------------------
+
+
+def _storm_fingerprint(batch_fanout: bool, rounds: int, seed: int = 11):
+    net = make_deployment(seed=seed)
+    sim = Simulator()
+    medium = WirelessMedium(
+        sim, net, loss_rate=0.1,
+        rng=np.random.default_rng(seed), batch_fanout=batch_fanout,
+    )
+    for r in range(rounds):
+        for nid in net.alive_ids():
+            medium.broadcast(nid, "storm", r)
+        sim.run()
+    stats = {
+        **medium.stats.summary(),
+        "by_kind_tx": dict(medium.stats.by_kind_tx),
+        "by_kind_rx": dict(medium.stats.by_kind_rx),
+        "by_kind_drop": dict(medium.stats.by_kind_drop),
+    }
+    ledger = {str(k): v for k, v in sorted(medium.ledger.per_node().items())}
+    return stats, ledger, sim.events_processed
+
+
+def _reliable_fingerprint(seed: int):
+    net = make_deployment(side=4, n_random=90, seed=7)
+    stack = deploy(net)
+    va = VirtualArchitecture(4)
+    spec = va.synthesize(CountAggregation(lambda c: True))
+    result = stack.run_application(
+        spec, loss_rate=0.15, rng=np.random.default_rng(seed),
+        reliable=True, max_retries=6,
+    )
+    return (
+        dict(sorted((str(k), v) for k, v in result.ledger.per_node().items())),
+        result.transmissions,
+        result.drops,
+        result.latency,
+    )
+
+
+def check_determinism(rounds: int = 5) -> Dict[str, Any]:
+    """Assert the invariants; returns a summary dict for the artifact."""
+    a = _storm_fingerprint(batch_fanout=True, rounds=rounds)
+    b = _storm_fingerprint(batch_fanout=True, rounds=rounds)
+    assert a == b, "same-seed storm runs diverged (stats/ledger/event count)"
+
+    legacy = _storm_fingerprint(batch_fanout=False, rounds=rounds)
+    legacy2 = _storm_fingerprint(batch_fanout=False, rounds=rounds)
+    assert legacy == legacy2, "legacy-path runs are not seed-stable"
+    assert a[0] == legacy[0], "batched fan-out changed MediumStats vs legacy path"
+    assert a[1] == legacy[1], "batched fan-out changed the energy ledger vs legacy path"
+
+    r1 = _reliable_fingerprint(seed=42)
+    r2 = _reliable_fingerprint(seed=42)
+    assert r1 == r2, "same-seed reliable runs diverged"
+    return {
+        "storm_same_seed_identical": True,
+        "batch_vs_legacy_stats_identical": True,
+        "reliable_same_seed_identical": True,
+        "events_batched": a[2],
+        "events_legacy": legacy[2],
+    }
+
+
+# ---------------------------------------------------------------------------
+# Runner
+# ---------------------------------------------------------------------------
+
+
+def run_micro(smoke: bool = False) -> Dict[str, Any]:
+    scale = 0.2 if smoke else 1.0
+    net = make_deployment()
+    storm = medium_broadcast_storm(rounds=max(4, int(40 * scale)), net=net)
+    storm_legacy = medium_broadcast_storm(
+        rounds=max(4, int(40 * scale)), net=make_deployment(), batch_fanout=False
+    )
+    return {
+        "medium_broadcast_storm": storm,
+        "medium_broadcast_storm_legacy_fanout": storm_legacy,
+        "unicast_pingpong": unicast_pingpong(count=max(2000, int(20000 * scale))),
+        "engine_event_pump": engine_event_pump(events=max(20000, int(200000 * scale))),
+    }
+
+
+def run_e1(smoke: bool = False) -> Dict[str, Any]:
+    return {"e1_deployed_scaling": e1_deployed_scaling(sides=(4, 8))}
+
+
+def _speedups(current: Dict[str, Any], baseline: Dict[str, Any]) -> Dict[str, float]:
+    """Throughput ratios current/baseline for every shared rate metric."""
+    out: Dict[str, float] = {}
+    for workload, metrics in current.items():
+        base = baseline.get(workload)
+        if not isinstance(base, dict) or not isinstance(metrics, dict):
+            continue
+        for key, value in metrics.items():
+            if key.endswith("_per_s") and isinstance(base.get(key), (int, float)):
+                out[f"{workload}.{key}"] = value / base[key]
+    return out
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench", description=__doc__.split("\n")[0]
+    )
+    parser.add_argument(
+        "--check", action="store_true",
+        help="smoke mode: reduced workloads + determinism assertions, "
+        "no artifacts written (< 60 s; the tier-2 gate)",
+    )
+    parser.add_argument(
+        "--out-dir", default=".", help="directory for BENCH_*.json artifacts"
+    )
+    parser.add_argument(
+        "--baseline", default=None,
+        help="JSON file of pre-change micro numbers to embed; enables the "
+        f">= {SPEEDUP_TARGET}x medium-storm speedup assertion",
+    )
+    parser.add_argument(
+        "--no-assert-speedup", action="store_true",
+        help="record speedups without gating on them (noisy machines)",
+    )
+    args = parser.parse_args(argv)
+
+    determinism = check_determinism(rounds=3 if args.check else 5)
+    print("determinism: OK "
+          f"(batched {determinism['events_batched']} events vs "
+          f"legacy {determinism['events_legacy']})")
+
+    micro = run_micro(smoke=args.check)
+    e1 = run_e1(smoke=args.check)
+    for name, row in micro.items():
+        rate = {k: v for k, v in row.items() if k.endswith("_per_s")}
+        print(f"{name}: wall={row['wall_s']:.3f}s {rate}")
+    for row in e1["e1_deployed_scaling"]:
+        print(f"e1 side={row['side']} n={row['n_nodes']}: wall={row['wall_s']:.4f}s")
+
+    baseline = None
+    if args.baseline:
+        with open(args.baseline) as fh:
+            baseline = json.load(fh)
+
+    if args.check:
+        print("smoke mode: artifacts not written")
+        return 0
+
+    micro_doc: Dict[str, Any] = {
+        "bench": "micro",
+        "schema": SCHEMA,
+        "workloads": micro,
+        "determinism": determinism,
+    }
+    if baseline is not None:
+        micro_doc["baseline"] = {
+            k: v for k, v in baseline.items() if k != "e1_deployed_scaling"
+        }
+        micro_doc["speedup_vs_baseline"] = _speedups(micro, micro_doc["baseline"])
+        headline = micro_doc["speedup_vs_baseline"].get(
+            "medium_broadcast_storm.deliveries_per_s"
+        )
+        print(f"speedups: {micro_doc['speedup_vs_baseline']}")
+        if not args.no_assert_speedup:
+            assert headline is not None and headline >= SPEEDUP_TARGET, (
+                f"medium storm speedup {headline} below target {SPEEDUP_TARGET}x"
+            )
+    e1_doc: Dict[str, Any] = {"bench": "e1", "schema": SCHEMA, **e1}
+    if baseline is not None and "e1_deployed_scaling" in baseline:
+        e1_doc["baseline"] = {"e1_deployed_scaling": baseline["e1_deployed_scaling"]}
+
+    for name, doc in (("BENCH_micro.json", micro_doc), ("BENCH_e1.json", e1_doc)):
+        path = f"{args.out_dir}/{name}"
+        with open(path, "w") as fh:
+            json.dump(doc, fh, indent=2)
+            fh.write("\n")
+        print(f"wrote {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -11,7 +11,7 @@ application of Section 3.1.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional, Tuple
+from typing import Callable, Optional, Tuple
 
 from .terrain import Point
 
@@ -44,6 +44,11 @@ class SensorNode:
     initial_energy: float = 1e9
     alive: bool = True
     _consumed: float = field(default=0.0, repr=False)
+    #: set by the owning RealNetwork; invoked on every liveness flip so
+    #: cached alive-neighbour views can be invalidated without scanning
+    _on_liveness_change: Optional[Callable[[], None]] = field(
+        default=None, repr=False, compare=False
+    )
 
     def __post_init__(self) -> None:
         if self.node_id < 0:
@@ -89,10 +94,13 @@ class SensorNode:
         self._consumed += amount
         if self._consumed >= self.initial_energy:
             self.alive = False
+            self._notify_liveness()
 
     def kill(self) -> None:
         """Fail the node immediately (fault injection)."""
-        self.alive = False
+        if self.alive:
+            self.alive = False
+            self._notify_liveness()
 
     def revive(self, energy: Optional[float] = None) -> None:
         """Bring the node back (node-addition / maintenance studies).
@@ -105,4 +113,10 @@ class SensorNode:
                 raise ValueError("replacement energy must be positive")
             self.initial_energy = energy
         self._consumed = 0.0
-        self.alive = True
+        if not self.alive:
+            self.alive = True
+            self._notify_liveness()
+
+    def _notify_liveness(self) -> None:
+        if self._on_liveness_change is not None:
+            self._on_liveness_change()

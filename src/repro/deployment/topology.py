@@ -51,7 +51,31 @@ class RealNetwork:
             self._members.setdefault(cell, []).append(nid)
         for member_list in self._members.values():
             member_list.sort()
-        self._adjacency = self._build_adjacency(nodes)
+        raw = self._build_adjacency(nodes)
+        # immutable adjacency: sorted tuples for ordered iteration, a
+        # frozenset mirror for O(1) membership (the unicast hot path)
+        self._adjacency: Dict[int, Tuple[int, ...]] = {
+            nid: tuple(nbrs) for nid, nbrs in raw.items()
+        }
+        self._adjacency_sets: Dict[int, FrozenSet[int]] = {
+            nid: frozenset(nbrs) for nid, nbrs in raw.items()
+        }
+        # alive-neighbour views are cached per node and invalidated in bulk
+        # by a network-wide liveness generation counter, bumped whenever any
+        # node dies or revives — neighbors() stops copying on every packet
+        self._liveness_gen = 0
+        self._alive_cache: Dict[int, Tuple[int, ...]] = {}
+        self._alive_cache_gen = 0
+        for node in self.nodes.values():
+            node._on_liveness_change = self._bump_liveness_generation
+
+    def _bump_liveness_generation(self) -> None:
+        self._liveness_gen += 1
+
+    @property
+    def liveness_generation(self) -> int:
+        """Monotone counter of node death/revival events (cache key)."""
+        return self._liveness_gen
 
     # -- construction ------------------------------------------------------------
 
@@ -106,12 +130,32 @@ class RealNetwork:
         """Ids of nodes that are still alive."""
         return sorted(nid for nid, n in self.nodes.items() if n.alive)
 
-    def neighbors(self, node_id: int, alive_only: bool = True) -> List[int]:
-        """One-hop neighbour set ``N(v_i)`` (alive nodes only by default)."""
-        nbrs = self._adjacency[node_id]
+    def neighbors(self, node_id: int, alive_only: bool = True) -> Tuple[int, ...]:
+        """One-hop neighbour set ``N(v_i)`` (alive nodes only by default).
+
+        Returns an immutable sorted tuple — the full view is the stored
+        adjacency itself and the alive view is served from a cache keyed by
+        the liveness generation, so neither copies per call.
+        """
         if not alive_only:
-            return list(nbrs)
-        return [j for j in nbrs if self.nodes[j].alive]
+            return self._adjacency[node_id]
+        return self.alive_neighbors(node_id)
+
+    def alive_neighbors(self, node_id: int) -> Tuple[int, ...]:
+        """Cached tuple of alive one-hop neighbours (the broadcast path)."""
+        if self._alive_cache_gen != self._liveness_gen:
+            self._alive_cache.clear()
+            self._alive_cache_gen = self._liveness_gen
+        view = self._alive_cache.get(node_id)
+        if view is None:
+            nodes = self.nodes
+            view = tuple(j for j in self._adjacency[node_id] if nodes[j].alive)
+            self._alive_cache[node_id] = view
+        return view
+
+    def neighbor_set(self, node_id: int) -> FrozenSet[int]:
+        """Frozen full neighbour set — O(1) membership (the unicast path)."""
+        return self._adjacency_sets[node_id]
 
     def distance(self, a: int, b: int) -> float:
         """Euclidean distance between two nodes."""

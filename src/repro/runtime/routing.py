@@ -19,8 +19,8 @@ synthesized rule program.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Any, Callable, Dict, List, Optional, Tuple
+from dataclasses import dataclass, replace
+from typing import Any, Callable, Dict, List, Optional, Set, Tuple
 
 from ..core.coords import Direction, GridCoord
 from ..simulator.network import Packet
@@ -89,6 +89,15 @@ class TransportProcess(Process):
         the natural hardening of the Section 4.3 observation that
         *"some messages might even be dropped"* — the synthesized program
         stays oblivious.
+    dedup_window:
+        Per-origin out-of-order tolerance of the duplicate-suppression
+        state.  Instead of remembering every uid ever seen (unbounded
+        memory over long maintenance/churn runs), each origin keeps a
+        high-water mark plus the set of seen sequence numbers within
+        ``dedup_window`` below it; anything older is treated as seen.
+        Origins emit sequence numbers monotonically, so a *new* uid can
+        only be mistaken for old if it is displaced by more than the
+        window — far beyond any ARQ reordering the simulator produces.
     """
 
     def __init__(
@@ -101,8 +110,11 @@ class TransportProcess(Process):
         max_retries: int = 3,
         ack_timeout: float = 4.0,
         ack_size_units: float = 1.0,
+        dedup_window: int = 128,
     ):
         super().__init__()
+        if dedup_window < 1:
+            raise ValueError(f"dedup_window must be >= 1, got {dedup_window}")
         self.topology = topology
         self.binding = binding
         self.on_deliver = on_deliver
@@ -111,13 +123,18 @@ class TransportProcess(Process):
         self.max_retries = max_retries
         self.ack_timeout = ack_timeout
         self.ack_size_units = ack_size_units
+        self.dedup_window = dedup_window
         self.drops = 0
         self.forwarded = 0
         self.retransmissions = 0
+        self.duplicates_suppressed = 0
         self._seq = 0
-        self._pending: Dict[Tuple[int, int], Tuple[TransportEnvelope, int, int]] = {}
+        # uid -> (envelope, next hop, attempts, hops snapshot at send time)
+        self._pending: Dict[Tuple[int, int], Tuple[TransportEnvelope, int, int, int]] = {}
         self._pending_timers: Dict[Tuple[int, int], Any] = {}
-        self._seen_uids: set = set()
+        # per-origin dedup: highest seq seen + seen seqs within the window
+        self._seen_high: Dict[int, int] = {}
+        self._seen_recent: Dict[int, Set[int]] = {}
 
     # -- API used by the application layer ---------------------------------------
 
@@ -138,6 +155,35 @@ class TransportProcess(Process):
         """The cell this node lies in."""
         return self.medium.network.cell_of(self.node_id)
 
+    def transport_stats(self) -> Dict[str, int]:
+        """Forwarding counters, including duplicate suppressions."""
+        return {
+            "forwarded": self.forwarded,
+            "drops": self.drops,
+            "retransmissions": self.retransmissions,
+            "duplicates_suppressed": self.duplicates_suppressed,
+        }
+
+    # -- duplicate suppression ----------------------------------------------------
+
+    def _uid_seen(self, origin: int, seq: int) -> bool:
+        high = self._seen_high.get(origin, -1)
+        if seq > high:
+            return False
+        if seq <= high - self.dedup_window:
+            return True  # older than the window: assumed already seen
+        return seq in self._seen_recent.get(origin, ())
+
+    def _uid_mark(self, origin: int, seq: int) -> None:
+        recent = self._seen_recent.setdefault(origin, set())
+        high = self._seen_high.get(origin, -1)
+        if seq > high:
+            self._seen_high[origin] = seq
+            floor = seq - self.dedup_window
+            if recent:
+                recent.difference_update([s for s in recent if s <= floor])
+        recent.add(seq)
+
     # -- forwarding ----------------------------------------------------------------
 
     def on_packet(self, packet: Packet) -> None:
@@ -151,9 +197,11 @@ class TransportProcess(Process):
             # acknowledge receipt to the previous hop (even duplicates:
             # the original ack may have been the lost packet)
             self.unicast(packet.src, ACK_KIND, envelope.uid, self.ack_size_units)
-            if envelope.uid in self._seen_uids:
+            origin, seq = envelope.uid
+            if self._uid_seen(origin, seq):
+                self.duplicates_suppressed += 1
                 return
-            self._seen_uids.add(envelope.uid)
+            self._uid_mark(origin, seq)
         self._route(envelope)
 
     def _on_ack(self, uid: Tuple[int, int]) -> None:
@@ -168,15 +216,19 @@ class TransportProcess(Process):
         entry = self._pending.get(tag)
         if entry is None:
             return
-        envelope, nxt, attempts = entry
+        envelope, nxt, attempts, hops_at_send = entry
         if attempts >= self.max_retries:
             del self._pending[tag]
             self._pending_timers.pop(tag, None)
             self._drop(envelope, f"no ack from {nxt} after {attempts} retries")
             return
         self.retransmissions += 1
-        self._pending[tag] = (envelope, nxt, attempts + 1)
-        self.unicast(nxt, TRANSPORT_KIND, envelope, envelope.size_units)
+        self._pending[tag] = (envelope, nxt, attempts + 1, hops_at_send)
+        # retransmit a snapshot, not the live envelope: downstream hops may
+        # have incremented ``hops`` on the shared object since the first
+        # attempt, and re-sending it would carry the inflated count
+        clone = replace(envelope, hops=hops_at_send)
+        self.unicast(nxt, TRANSPORT_KIND, clone, clone.size_units)
         self._pending_timers[tag] = self.set_timer(self.ack_timeout, tag)
 
     def _route(self, envelope: TransportEnvelope) -> None:
@@ -206,7 +258,8 @@ class TransportProcess(Process):
         self.forwarded += 1
         self.unicast(nxt, TRANSPORT_KIND, envelope, envelope.size_units)
         if self.reliable and envelope.uid is not None:
-            self._pending[envelope.uid] = (envelope, nxt, 0)
+            # snapshot hops as transmitted: retransmissions resend this value
+            self._pending[envelope.uid] = (envelope, nxt, 0, envelope.hops)
             self._pending_timers[envelope.uid] = self.set_timer(
                 self.ack_timeout, envelope.uid
             )

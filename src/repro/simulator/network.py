@@ -65,6 +65,14 @@ class WirelessMedium:
     jitter:
         Maximum extra random delivery delay (models MAC contention);
         0 keeps delivery deterministic.
+    batch_fanout:
+        When True (default), a jitter-free broadcast schedules ONE delivery
+        event that charges every surviving receiver, instead of one event
+        per receiver — the fan-out fast path.  Observable results
+        (:class:`MediumStats`, the energy ledger, handler invocation order)
+        are identical either way; only ``Simulator.events_processed``
+        differs.  Set False to force the per-receiver legacy path (used by
+        the equivalence tests and the perf harness).
     """
 
     def __init__(
@@ -75,6 +83,7 @@ class WirelessMedium:
         loss_rate: float = 0.0,
         rng: "np.random.Generator | int | None" = None,
         jitter: float = 0.0,
+        batch_fanout: bool = True,
     ):
         if not 0.0 <= loss_rate < 1.0:
             raise ValueError(f"loss_rate must be in [0, 1), got {loss_rate}")
@@ -85,6 +94,7 @@ class WirelessMedium:
         self.cost_model = cost_model or UniformCostModel()
         self.loss_rate = loss_rate
         self.jitter = jitter
+        self.batch_fanout = batch_fanout
         if isinstance(rng, np.random.Generator):
             self.rng = rng
         else:
@@ -112,18 +122,52 @@ class WirelessMedium:
 
         Returns the number of scheduled deliveries (post-loss).  A dead
         source transmits nothing.
+
+        The loss and jitter draws are consumed in alive-neighbour order
+        exactly as the scalar per-receiver path would (numpy's vectorized
+        draws are stream-identical to repeated scalar draws), so seeded
+        runs are byte-for-byte reproducible across the fast and legacy
+        paths.
         """
         node = self.network.node(src)
         if not node.alive:
             return 0
         self._charge_tx(src, size_units, kind)
         packet = Packet(src=src, kind=kind, payload=payload, size_units=size_units)
-        delivered = 0
-        for nbr in self.network.neighbors(src):
-            if self._deliver(packet, nbr):
-                delivered += 1
-        self.stats.record_tx(kind, size_units, delivered)
-        return delivered
+        receivers = self.network.alive_neighbors(src)
+        if not receivers:
+            self.stats.record_tx(kind, size_units, 0)
+            return 0
+        if not self.batch_fanout or (self.loss_rate > 0.0 and self.jitter > 0.0):
+            # Legacy per-receiver path.  Also taken when loss AND jitter are
+            # both active: the seed interleaved the draws per receiver
+            # (loss_i then jitter_i), which a vectorized pass cannot
+            # replicate without changing the seeded stream.
+            delivered = 0
+            for nbr in receivers:
+                if self._deliver(packet, nbr):
+                    delivered += 1
+            self.stats.record_tx(kind, size_units, delivered)
+            return delivered
+        if self.loss_rate > 0.0:
+            draws = self.rng.random(len(receivers))
+            survivors = [r for r, d in zip(receivers, draws) if d >= self.loss_rate]
+            dropped = len(receivers) - len(survivors)
+            if dropped:
+                self.stats.record_drops(kind, dropped)
+        else:
+            survivors = list(receivers)
+        delay = self.cost_model.tx_latency(size_units)
+        if survivors:
+            if self.jitter > 0.0:
+                jitters = self.rng.uniform(0.0, self.jitter, len(survivors))
+                for nbr, extra in zip(survivors, jitters):
+                    self.sim.schedule_fire_and_forget(delay + float(extra), self._arrive, packet, nbr)
+            else:
+                # fan-out fast path: one event charges every receiver
+                self.sim.schedule_fire_and_forget(delay, self._arrive_many, packet, survivors)
+        self.stats.record_tx(kind, size_units, len(survivors))
+        return len(survivors)
 
     def unicast(
         self, src: int, dst: int, kind: str, payload: Any, size_units: float = 1.0
@@ -138,7 +182,7 @@ class WirelessMedium:
         node = self.network.node(src)
         if not node.alive:
             return False
-        if dst not in self.network.neighbors(src, alive_only=False):
+        if dst not in self.network.neighbor_set(src):
             raise ValueError(f"{dst} is not a one-hop neighbour of {src}")
         self._charge_tx(src, size_units, kind)
         packet = Packet(
@@ -164,7 +208,7 @@ class WirelessMedium:
         delay = self.cost_model.tx_latency(packet.size_units)
         if self.jitter > 0.0:
             delay += float(self.rng.uniform(0.0, self.jitter))
-        self.sim.schedule(delay, lambda: self._arrive(packet, receiver))
+        self.sim.schedule_fire_and_forget(delay, self._arrive, packet, receiver)
         return True
 
     def _arrive(self, packet: Packet, receiver: int) -> None:
@@ -178,3 +222,13 @@ class WirelessMedium:
         handler = self._handlers.get(receiver)
         if handler is not None:
             handler(packet)
+
+    def _arrive_many(self, packet: Packet, receivers: List[int]) -> None:
+        """Batched arrival: one event delivers to every receiver in order.
+
+        Receiver order matches the per-receiver path's event order, so
+        handler side effects (and anything they schedule) sequence
+        identically.
+        """
+        for receiver in receivers:
+            self._arrive(packet, receiver)

@@ -72,14 +72,18 @@ class Process(abc.ABC):
 
     def set_timer(self, delay: float, tag: Any = None) -> EventHandle:
         """Schedule :meth:`on_timer` after ``delay`` (cancellable)."""
-
-        def fire() -> None:
-            if self.alive:
-                self.on_timer(tag)
-
-        handle = self.sim.schedule(delay, fire)
+        handle = self.sim.schedule(delay, self._fire_timer, tag)
         self._timers.append(handle)
+        if len(self._timers) > 256:
+            # prune handles that already fired or were cancelled (their
+            # engine backref is cleared) so long-lived chatty processes
+            # don't accumulate dead references
+            self._timers = [h for h in self._timers if h.sim is not None]
         return handle
+
+    def _fire_timer(self, tag: Any) -> None:
+        if self.alive:
+            self.on_timer(tag)
 
     def cancel_timers(self) -> None:
         """Cancel every outstanding timer of this process."""
@@ -110,9 +114,10 @@ class ProcessHost:
         process.medium = self.medium
         process.node_id = node_id
         self.processes[node_id] = process
+        node = self.medium.network.node(node_id)
 
-        def handler(packet: Packet) -> None:
-            if self.medium.network.node(node_id).alive:
+        def handler(packet: Packet, node=node, process=process) -> None:
+            if node.alive:
                 process.on_packet(packet)
 
         self.medium.attach(node_id, handler)
@@ -129,13 +134,11 @@ class ProcessHost:
         staggered by ``stagger`` per node id, modelling asynchronous
         boot)."""
         for i, (nid, proc) in enumerate(sorted(self.processes.items())):
-            delay = stagger * i
+            self.sim.schedule(stagger * i, self._boot, nid, proc)
 
-            def boot(p: Process = proc, node: int = nid) -> None:
-                if self.medium.network.node(node).alive:
-                    p.on_start()
-
-            self.sim.schedule(delay, boot)
+    def _boot(self, node_id: int, process: Process) -> None:
+        if self.medium.network.node(node_id).alive:
+            process.on_start()
 
     def get(self, node_id: int) -> Process:
         """The process installed on ``node_id``."""

@@ -42,6 +42,11 @@ class MediumStats:
         self.drops += 1
         self.by_kind_drop[kind] = self.by_kind_drop.get(kind, 0) + 1
 
+    def record_drops(self, kind: str, count: int) -> None:
+        """``count`` lost packets of one kind (vectorized loss draws)."""
+        self.drops += count
+        self.by_kind_drop[kind] = self.by_kind_drop.get(kind, 0) + count
+
     def tx_of_kind(self, kind: str) -> int:
         """Transmissions tagged ``kind``."""
         return self.by_kind_tx.get(kind, 0)

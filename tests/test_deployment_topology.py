@@ -26,9 +26,9 @@ def line_network(positions, tx_range=1.5, cells=None):
 class TestAdjacency:
     def test_unit_disk_edges(self):
         net = line_network([(0.5, 0.5), (1.5, 0.5), (3.5, 0.5)])
-        assert net.neighbors(0) == [1]
-        assert net.neighbors(1) == [0]
-        assert net.neighbors(2) == []
+        assert net.neighbors(0) == (1,)
+        assert net.neighbors(1) == (0,)
+        assert net.neighbors(2) == ()
 
     def test_adjacency_symmetric(self):
         net = make_deployment(side=4)
@@ -50,7 +50,7 @@ class TestAdjacency:
                 and math.hypot(pts[i][0] - pts[j][0], pts[i][1] - pts[j][1])
                 <= 12.0
             )
-            assert net.neighbors(i) == expected
+            assert net.neighbors(i) == tuple(expected)
 
     def test_duplicate_ids_rejected(self):
         cells = CellGrid(Terrain(10.0), 2)
@@ -69,8 +69,8 @@ class TestAdjacency:
     def test_dead_nodes_filtered(self):
         net = line_network([(0.5, 0.5), (1.5, 0.5), (2.5, 0.5)])
         net.node(1).kill()
-        assert net.neighbors(0) == []
-        assert net.neighbors(0, alive_only=False) == [1]
+        assert net.neighbors(0) == ()
+        assert net.neighbors(0, alive_only=False) == (1,)
         assert net.alive_ids() == [0, 2]
 
 

@@ -1,0 +1,134 @@
+"""Property tests for reliable transport and simulator determinism.
+
+* Under i.i.d. packet loss, hop-by-hop ARQ delivers each envelope
+  **at most once** to ``on_deliver``, and every originated envelope is
+  *accounted for* — delivered or explicitly dropped, never silently
+  suppressed (duplicate suppression must never eat a new uid).
+* Same-seed runs of the deployed stack produce identical
+  :class:`EnergyLedger` and :class:`MediumStats` fingerprints.
+"""
+
+from __future__ import annotations
+
+import functools
+
+import numpy as np
+import pytest
+
+try:
+    from hypothesis import given, settings, strategies as st
+    HAVE_HYPOTHESIS = True
+except ImportError:  # pragma: no cover - baked into the test image
+    HAVE_HYPOTHESIS = False
+
+from repro.core import CountAggregation, VirtualArchitecture
+from repro.runtime import deploy
+from repro.runtime.routing import TransportProcess
+from repro.simulator.engine import Simulator
+from repro.simulator.network import WirelessMedium
+from repro.simulator.process import ProcessHost
+
+from conftest import make_deployment
+
+pytestmark = pytest.mark.skipif(
+    not HAVE_HYPOTHESIS, reason="hypothesis not installed"
+)
+
+
+@functools.lru_cache(maxsize=1)
+def shared_stack():
+    """One deployed stack reused across hypothesis examples (read-only:
+    transport runs neither drain noticeable battery nor mutate tables)."""
+    net = make_deployment(side=4, seed=9)
+    return net, deploy(net)
+
+
+def run_reliable_round(loss_rate: float, seed: int, n_envelopes: int):
+    net, stack = shared_stack()
+    sim = Simulator()
+    medium = WirelessMedium(
+        sim, net, loss_rate=loss_rate, rng=np.random.default_rng(seed)
+    )
+    host = ProcessHost(sim, medium)
+    delivered = []  # uids seen by on_deliver
+    dropped = []    # uids reported to on_drop
+    for nid in net.alive_ids():
+        host.add(
+            nid,
+            TransportProcess(
+                stack.topology,
+                stack.binding,
+                on_deliver=lambda p, env: delivered.append(env.uid),
+                on_drop=lambda p, env, reason: dropped.append(env.uid),
+                reliable=True,
+                max_retries=10,
+            ),
+        )
+    host.start()
+    cells = sorted(stack.binding.leaders)
+    for i in range(n_envelopes):
+        src_cell = cells[i % len(cells)]
+        dst_cell = cells[(i * 7 + 3) % len(cells)]
+        if dst_cell == src_cell:
+            dst_cell = cells[(i * 7 + 4) % len(cells)]
+        origin = stack.binding.leader_of(src_cell)
+        # distinct origins per i (12 <= 16 cells), so uids are all distinct
+        sim.schedule(0.1 * i, host.get(origin).originate, dst_cell, f"msg-{i}")
+    sim.run_until_quiet()
+    return delivered, dropped, host
+
+
+@given(
+    loss_rate=st.floats(min_value=0.0, max_value=0.35),
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+)
+@settings(max_examples=12, deadline=None)
+def test_at_most_once_delivery_and_no_lost_new_uids(loss_rate, seed):
+    delivered, dropped, host = run_reliable_round(loss_rate, seed, n_envelopes=12)
+    # at-most-once: no uid reaches on_deliver twice
+    assert len(delivered) == len(set(delivered)), (
+        f"duplicate delivery under loss={loss_rate} seed={seed}"
+    )
+    # accounting: every originated envelope is delivered or explicitly
+    # dropped somewhere — a *new* uid swallowed by duplicate suppression
+    # would vanish without either record
+    accounted = set(delivered) | set(dropped)
+    assert len(accounted) == 12, (
+        f"envelopes vanished: {12 - len(accounted)} unaccounted "
+        f"(loss={loss_rate} seed={seed})"
+    )
+
+
+@given(seed=st.integers(min_value=0, max_value=2**31 - 1))
+@settings(max_examples=8, deadline=None)
+def test_suppression_only_fires_on_actual_duplicates(seed):
+    # lossless channel: ARQ never retransmits, so nothing may be suppressed
+    delivered, dropped, host = run_reliable_round(0.0, seed, n_envelopes=8)
+    assert sum(p.duplicates_suppressed for p in host.processes.values()) == 0
+    assert len(delivered) == 8
+    assert dropped == []
+
+
+def _deployed_fingerprint(seed: int):
+    net = make_deployment(side=4, seed=3)
+    stack = deploy(net)
+    va = VirtualArchitecture(4)
+    spec = va.synthesize(CountAggregation(lambda c: True))
+    result = stack.run_application(
+        spec, loss_rate=0.2, rng=np.random.default_rng(seed),
+        reliable=True, max_retries=6,
+    )
+    return (
+        sorted(result.ledger.per_node().items()),
+        sorted(result.ledger.by_category().items()),
+        result.transmissions,
+        result.latency,
+        result.drops,
+    )
+
+
+def test_same_seed_runs_are_identical():
+    """Pin seeded determinism of EnergyLedger + MediumStats end to end."""
+    assert _deployed_fingerprint(77) == _deployed_fingerprint(77)
+    # and the seed actually matters (guards against a seed being ignored)
+    assert _deployed_fingerprint(77) != _deployed_fingerprint(78)

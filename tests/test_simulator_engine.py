@@ -130,10 +130,82 @@ class TestCancellation:
         handle.cancel()
         assert fired == [1]
 
-    def test_pending_includes_cancelled(self):
+    def test_pending_excludes_cancelled(self):
         sim = Simulator()
+        live = sim.schedule(2.0, lambda: None)
         handle = sim.schedule(1.0, lambda: None)
+        handle.cancel()
+        assert sim.pending == 1  # only the live event counts
+        sim.run()
+        assert sim.pending == 0
+        assert sim.events_processed == 1
+        live.cancel()  # cancel after fire: no effect on bookkeeping
+        assert sim.pending == 0
+
+    def test_double_cancel_counts_once(self):
+        sim = Simulator()
+        keep = sim.schedule(1.0, lambda: None)
+        handle = sim.schedule(1.0, lambda: None)
+        handle.cancel()
         handle.cancel()
         assert sim.pending == 1
         sim.run()
         assert sim.pending == 0
+        assert not keep.cancelled
+
+    def test_run_until_quiet_ignores_cancelled_tail(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        sim.run_until_quiet()
+        tail = sim.schedule(9.0, lambda: None)
+        tail.cancel()
+        # only a cancelled event remains: that's quiescent
+        assert sim.run_until_quiet() >= 1.0
+
+
+class TestRunUntilClock:
+    """Regression tests for the run(until=...) clock bugs."""
+
+    def test_until_in_past_rejected(self):
+        sim = Simulator()
+        sim.schedule(5.0, lambda: None)
+        sim.run()
+        assert sim.now == 5.0
+        # the seed silently moved the clock BACKWARD to `until` here
+        with pytest.raises(ValueError, match="backward"):
+            sim.run(until=1.0)
+        assert sim.now == 5.0
+
+    def test_clock_advances_to_until_when_queue_drains(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        assert sim.run(until=10.0) == 10.0
+        assert sim.now == 10.0
+
+    def test_repeated_run_until_forms_consistent_timeline(self):
+        sim = Simulator()
+        ticks = []
+        sim.schedule(2.5, lambda: ticks.append(sim.now))
+        for t in (1.0, 2.0, 3.0, 4.0):
+            assert sim.run(until=float(t)) == t
+            assert sim.now == t
+        assert ticks == [2.5]
+        # scheduling relative to the advanced clock lands where expected
+        sim.schedule(1.0, lambda: ticks.append(sim.now))
+        sim.run()
+        assert ticks == [2.5, 5.0]
+
+    def test_empty_queue_run_until_advances_clock(self):
+        sim = Simulator()
+        assert sim.run(until=7.0) == 7.0
+        assert sim.now == 7.0
+
+
+class TestScheduleWithArgs:
+    def test_args_passed_positionally(self):
+        sim = Simulator()
+        got = []
+        sim.schedule(1.0, lambda a, b: got.append((a, b)), 1, "x")
+        sim.schedule_at(2.0, got.append, "tail")
+        sim.run()
+        assert got == [(1, "x"), "tail"]
