@@ -6,13 +6,12 @@ Examples::
 
     PYTHONPATH=src python benchmarks/bench_runner.py                # full run
     PYTHONPATH=src python benchmarks/bench_runner.py --check        # < 60 s gate
-    PYTHONPATH=src python benchmarks/bench_runner.py \
-        --baseline /tmp/seed_baseline.json                          # 2x gate
 
-The full run writes ``BENCH_micro.json`` and ``BENCH_e1.json`` (events/sec,
-wall time per N, determinism fingerprints) into ``--out-dir`` (default: the
-current directory — run from the repo root to refresh the committed
-trajectory artifacts).
+The full run appends one per-commit entry to the ``BENCH_micro.json`` and
+``BENCH_e1.json`` trajectories (events/sec, wall time per N, determinism
+fingerprints, speedup gates) in ``--out-dir`` (default: the current
+directory — run from the repo root to grow the committed artifacts), and
+gates against the best recorded run plus the >= 2x timer-wheel target.
 
 This file intentionally holds no benchmark logic: the workloads, the
 determinism assertions, and the artifact format live in ``repro.bench`` so

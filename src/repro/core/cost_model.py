@@ -209,6 +209,19 @@ class EnergyLedger:
         """Sum of all recorded consumption."""
         return sum(self._consumed.values())
 
+    def fingerprint(self) -> Tuple:
+        """Canonical, order-stable serialization of the ledger.
+
+        Node keys are stringified before sorting so heterogeneous keys
+        (int ids, grid-coordinate tuples) stay comparable; category totals
+        ride along.  Determinism tests and ``repro.bench`` compare these
+        instead of hand-rolled sorted-dict copies.
+        """
+        return (
+            tuple(sorted((str(node), amount) for node, amount in self._consumed.items())),
+            tuple(sorted(self._by_category.items())),
+        )
+
     def merge(self, other: "EnergyLedger") -> None:
         """Fold another ledger's records into this one."""
         for node, amount in other._consumed.items():

@@ -46,11 +46,12 @@ class RealNetwork:
         self._cell_of: Dict[int, GridCoord] = {
             n.node_id: cells.cell_of(n.position) for n in nodes
         }
-        self._members: Dict[GridCoord, List[int]] = {}
+        members: Dict[GridCoord, List[int]] = {}
         for nid, cell in self._cell_of.items():
-            self._members.setdefault(cell, []).append(nid)
-        for member_list in self._members.values():
-            member_list.sort()
+            members.setdefault(cell, []).append(nid)
+        self._members: Dict[GridCoord, Tuple[int, ...]] = {
+            cell: tuple(sorted(ids)) for cell, ids in members.items()
+        }
         raw = self._build_adjacency(nodes)
         # immutable adjacency: sorted tuples for ordered iteration, a
         # frozenset mirror for O(1) membership (the unicast hot path)
@@ -66,6 +67,10 @@ class RealNetwork:
         self._liveness_gen = 0
         self._alive_cache: Dict[int, Tuple[int, ...]] = {}
         self._alive_cache_gen = 0
+        # alive cell-membership views share the same invalidation scheme:
+        # topology-emulation and binding query members per maintenance round
+        self._members_cache: Dict[GridCoord, Tuple[int, ...]] = {}
+        self._members_cache_gen = 0
         for node in self.nodes.values():
             node._on_liveness_change = self._bump_liveness_generation
 
@@ -166,12 +171,28 @@ class RealNetwork:
         """The cell a node emulates (``CELL(v_i)``)."""
         return self._cell_of[node_id]
 
-    def members_of_cell(self, cell: GridCoord, alive_only: bool = True) -> List[int]:
-        """``Cell(v_ij)``: the nodes that collectively emulate a grid node."""
-        members = self._members.get(cell, [])
+    def members_of_cell(
+        self, cell: GridCoord, alive_only: bool = True
+    ) -> Tuple[int, ...]:
+        """``Cell(v_ij)``: the nodes that collectively emulate a grid node.
+
+        Returns an immutable sorted tuple.  The alive view is served from
+        a cache keyed by the liveness generation (exactly like
+        :meth:`alive_neighbors`), so per-maintenance-round callers don't
+        re-filter an unchanged membership.
+        """
+        members = self._members.get(cell, ())
         if not alive_only:
-            return list(members)
-        return [nid for nid in members if self.nodes[nid].alive]
+            return members
+        if self._members_cache_gen != self._liveness_gen:
+            self._members_cache.clear()
+            self._members_cache_gen = self._liveness_gen
+        view = self._members_cache.get(cell)
+        if view is None:
+            nodes = self.nodes
+            view = tuple(nid for nid in members if nodes[nid].alive)
+            self._members_cache[cell] = view
+        return view
 
     def edge_count(self) -> int:
         """Number of undirected links."""

@@ -167,7 +167,12 @@ class Binding:
 def oracle_binding(
     network: RealNetwork, metric: Metric = distance_to_center_metric
 ) -> Dict[GridCoord, int]:
-    """Centralized ground truth: per-cell (metric, id)-argmin."""
+    """Centralized ground truth: per-cell (metric, id)-argmin.
+
+    ``members_of_cell`` serves a liveness-generation-cached tuple, so
+    repeated oracle evaluations between churn events (the maintenance
+    loop's verify-after-recover pattern) do not re-filter memberships.
+    """
     out: Dict[GridCoord, int] = {}
     for cell in network.cells.cells():
         members = network.members_of_cell(cell)

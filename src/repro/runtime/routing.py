@@ -129,9 +129,10 @@ class TransportProcess(Process):
         self.retransmissions = 0
         self.duplicates_suppressed = 0
         self._seq = 0
-        # uid -> (envelope, next hop, attempts, hops snapshot at send time)
+        # uid -> (envelope, next hop, attempts, hops snapshot at send time);
+        # the ack timer of each pending uid is the tag-indexed process
+        # timer keyed by the uid itself
         self._pending: Dict[Tuple[int, int], Tuple[TransportEnvelope, int, int, int]] = {}
-        self._pending_timers: Dict[Tuple[int, int], Any] = {}
         # per-origin dedup: highest seq seen + seen seqs within the window
         self._seen_high: Dict[int, int] = {}
         self._seen_recent: Dict[int, Set[int]] = {}
@@ -206,9 +207,7 @@ class TransportProcess(Process):
 
     def _on_ack(self, uid: Tuple[int, int]) -> None:
         self._pending.pop(uid, None)
-        timer = self._pending_timers.pop(uid, None)
-        if timer is not None:
-            timer.cancel()
+        self.cancel_timer(uid)
 
     def on_timer(self, tag: Any) -> None:
         if not (isinstance(tag, tuple) and len(tag) == 2):
@@ -219,7 +218,6 @@ class TransportProcess(Process):
         envelope, nxt, attempts, hops_at_send = entry
         if attempts >= self.max_retries:
             del self._pending[tag]
-            self._pending_timers.pop(tag, None)
             self._drop(envelope, f"no ack from {nxt} after {attempts} retries")
             return
         self.retransmissions += 1
@@ -229,7 +227,7 @@ class TransportProcess(Process):
         # attempt, and re-sending it would carry the inflated count
         clone = replace(envelope, hops=hops_at_send)
         self.unicast(nxt, TRANSPORT_KIND, clone, clone.size_units)
-        self._pending_timers[tag] = self.set_timer(self.ack_timeout, tag)
+        self.set_timer(self.ack_timeout, tag)
 
     def _route(self, envelope: TransportEnvelope) -> None:
         cell = self.my_cell
@@ -260,9 +258,7 @@ class TransportProcess(Process):
         if self.reliable and envelope.uid is not None:
             # snapshot hops as transmitted: retransmissions resend this value
             self._pending[envelope.uid] = (envelope, nxt, 0, envelope.hops)
-            self._pending_timers[envelope.uid] = self.set_timer(
-                self.ack_timeout, envelope.uid
-            )
+            self.set_timer(self.ack_timeout, envelope.uid)
 
     def _deliver(self, envelope: TransportEnvelope) -> None:
         if self.on_deliver is not None:

@@ -59,16 +59,17 @@ class TopologyEmulationProcess(Process):
         net = self.medium.network
         self.cell = net.cell_of(self.node_id)
         # Step 2: direct entries from initially available information.
-        candidates: Dict[Direction, List[int]] = {d: [] for d in ALL_DIRECTIONS}
+        # One pass over the neighbours against an adjacent-cell -> direction
+        # map (instead of a per-neighbour direction scan); ties resolve to
+        # the lowest node id, deterministically.
+        adjacent = {d.step(self.cell): d for d in ALL_DIRECTIONS}
+        best: Dict[Direction, int] = {}
         for nbr in net.neighbors(self.node_id):
-            ncell = net.cell_of(nbr)
-            for d in ALL_DIRECTIONS:
-                if ncell == d.step(self.cell):
-                    candidates[d].append(nbr)
-        for d, cands in candidates.items():
-            if cands:
-                # deterministic choice: lowest node id
-                self.rt[d] = min(cands)
+            d = adjacent.get(net.cell_of(nbr))
+            if d is not None and (d not in best or nbr < best[d]):
+                best[d] = nbr
+        for d, nbr in best.items():
+            self.rt[d] = nbr
         # Step 3: announce.
         self.broadcast(RT_KIND, self._summary(), self.rt_size_units)
 

@@ -13,6 +13,13 @@ Hot-path design notes:
 * Cancelled events are counted as they are cancelled and discounted as
   they are lazily popped, so :attr:`Simulator.pending` reports the number
   of *live* events in O(1) without scanning the heap.
+* :meth:`Simulator.schedule_timer` is the handle-free cancellation path:
+  instead of allocating an :class:`EventHandle` per timer, the caller owns
+  a ``{key: stamp}`` registry and the event fires only if the registry
+  still maps its key to its stamp at the deadline.  Re-arming or removing
+  the key cancels the queued event for free; the stale heap entry is
+  skipped on pop without advancing the clock, exactly like a cancelled
+  :class:`EventHandle`.
 
 The engine knows nothing about radios or nodes; ``repro.simulator.network``
 builds the wireless medium on top and ``repro.simulator.process`` the
@@ -23,7 +30,12 @@ from __future__ import annotations
 
 import heapq
 import itertools
-from typing import Any, Callable, List, Optional, Tuple
+from typing import Any, Callable, Dict, Hashable, List, Optional, Tuple
+
+#: Sentinel occupying the handle slot of heap entries scheduled via
+#: :meth:`Simulator.schedule_timer`.  An identity check against it is the
+#: only per-event cost the timer path adds to the hot loop.
+_TIMER = object()
 
 
 class Simulator:
@@ -102,6 +114,49 @@ class Simulator:
             self._queue, (self._now + delay, next(self._seq), None, callback, args)
         )
 
+    def schedule_timer(
+        self,
+        delay: float,
+        armed: Dict[Hashable, int],
+        key: Hashable,
+        stamp: int,
+        callback: Callable[[Any], None],
+        tag: Any,
+    ) -> None:
+        """Enqueue ``callback(tag)`` after ``delay``, cancellable without a
+        per-event :class:`EventHandle`.
+
+        The caller owns ``armed``: the event fires iff ``armed[key] ==
+        stamp`` at its deadline (the engine removes the entry just before
+        firing, so a re-arm from inside the callback works).  Replacing or
+        deleting the entry cancels the queued event; the caller must report
+        such cancellations through :meth:`discount_cancelled` to keep
+        :attr:`pending` exact.  ``stamp`` values must never be reused for
+        the same registry key while a stale event may still be queued —
+        give each registry a monotone stamp counter.
+        """
+        if delay < 0:
+            raise ValueError(f"delay must be non-negative, got {delay}")
+        heapq.heappush(
+            self._queue,
+            (
+                self._now + delay,
+                next(self._seq),
+                _TIMER,
+                callback,
+                (armed, key, stamp, tag),
+            ),
+        )
+
+    def discount_cancelled(self, count: int = 1) -> None:
+        """Report ``count`` still-queued events as logically cancelled.
+
+        Used by owners of :meth:`schedule_timer` registries when they
+        remove or supersede an armed entry; keeps :attr:`pending` an exact
+        live-event count (the stale heap entries are dropped lazily).
+        """
+        self._cancelled_pending += count
+
     def run(
         self,
         until: Optional[float] = None,
@@ -132,6 +187,20 @@ class Simulator:
                     break
                 heappop(queue)
                 if handle is not None:
+                    if handle is _TIMER:
+                        armed, key, stamp, tag = args
+                        if armed.get(key) != stamp:
+                            # re-armed or cancelled: skip without touching
+                            # the clock, like a cancelled EventHandle
+                            self._cancelled_pending -= 1
+                            continue
+                        del armed[key]  # mark fired: re-arm inside works
+                        self._now = time
+                        callback(tag)
+                        fired += 1
+                        if max_events is not None and fired >= max_events:
+                            break
+                        continue
                     if handle.cancelled:
                         self._cancelled_pending -= 1
                         continue
@@ -141,7 +210,6 @@ class Simulator:
                     callback(*args)
                 else:
                     callback()
-                self._events_processed += 1
                 fired += 1
                 if max_events is not None and fired >= max_events:
                     break
@@ -152,6 +220,7 @@ class Simulator:
                     self._now = until
         finally:
             self._running = False
+            self._events_processed += fired
         return self._now
 
     def run_until_quiet(self, max_events: int = 10_000_000) -> float:

@@ -66,13 +66,17 @@ class WirelessMedium:
         Maximum extra random delivery delay (models MAC contention);
         0 keeps delivery deterministic.
     batch_fanout:
-        When True (default), a jitter-free broadcast schedules ONE delivery
-        event that charges every surviving receiver, instead of one event
-        per receiver — the fan-out fast path.  Observable results
-        (:class:`MediumStats`, the energy ledger, handler invocation order)
-        are identical either way; only ``Simulator.events_processed``
-        differs.  Set False to force the per-receiver legacy path (used by
-        the equivalence tests and the perf harness).
+        When True (default), broadcasts take the batched fast path in
+        EVERY regime: loss draws and jitter draws are vectorized in
+        alive-neighbour order (stream-identical to the scalar per-receiver
+        draws), and deliveries are bucketed by exact arrival time — a
+        jitter-free broadcast schedules ONE delivery event that charges
+        every surviving receiver, a jittered one schedules one event per
+        distinct arrival time.  Observable results (:class:`MediumStats`,
+        the energy ledger, handler invocation order and timestamps) are
+        identical either way; only ``Simulator.events_processed`` differs.
+        Set False to force the per-receiver legacy path (used by the
+        equivalence tests and the perf harness).
     """
 
     def __init__(
@@ -138,34 +142,39 @@ class WirelessMedium:
         if not receivers:
             self.stats.record_tx(kind, size_units, 0)
             return 0
-        if not self.batch_fanout or (self.loss_rate > 0.0 and self.jitter > 0.0):
-            # Legacy per-receiver path.  Also taken when loss AND jitter are
-            # both active: the seed interleaved the draws per receiver
-            # (loss_i then jitter_i), which a vectorized pass cannot
-            # replicate without changing the seeded stream.
+        if not self.batch_fanout:
+            # Legacy per-receiver path: the oracle the equivalence tests
+            # hold the fast path to.
             delivered = 0
             for nbr in receivers:
                 if self._deliver(packet, nbr):
                     delivered += 1
             self.stats.record_tx(kind, size_units, delivered)
             return delivered
+        jitter = self.jitter
         if self.loss_rate > 0.0:
-            draws = self.rng.random(len(receivers))
-            survivors = [r for r, d in zip(receivers, draws) if d >= self.loss_rate]
+            if jitter > 0.0:
+                # loss AND jitter: the seed interleaves the draws per
+                # receiver (loss_i then jitter_i); replicate that stream
+                # with chunked vectorized draws
+                survivors, extras = self._draw_loss_and_jitter(receivers)
+            else:
+                draws = self.rng.random(len(receivers))
+                survivors = [r for r, d in zip(receivers, draws) if d >= self.loss_rate]
+                extras = None
             dropped = len(receivers) - len(survivors)
             if dropped:
                 self.stats.record_drops(kind, dropped)
         else:
             survivors = list(receivers)
+            extras = self.rng.uniform(0.0, jitter, len(survivors)) if jitter > 0.0 else None
         delay = self.cost_model.tx_latency(size_units)
         if survivors:
-            if self.jitter > 0.0:
-                jitters = self.rng.uniform(0.0, self.jitter, len(survivors))
-                for nbr, extra in zip(survivors, jitters):
-                    self.sim.schedule_fire_and_forget(delay + float(extra), self._arrive, packet, nbr)
-            else:
+            if extras is None:
                 # fan-out fast path: one event charges every receiver
                 self.sim.schedule_fire_and_forget(delay, self._arrive_many, packet, survivors)
+            else:
+                self._schedule_jittered(packet, survivors, delay, extras)
         self.stats.record_tx(kind, size_units, len(survivors))
         return len(survivors)
 
@@ -193,6 +202,88 @@ class WirelessMedium:
         return ok
 
     # -- internals ---------------------------------------------------------------
+
+    def _draw_loss_and_jitter(
+        self, receivers: "tuple[int, ...] | List[int]"
+    ) -> "tuple[List[int], List[float]]":
+        """Vectorized replication of the interleaved per-receiver stream.
+
+        The legacy path consumes one double per receiver (the loss draw)
+        plus one more per survivor (the jitter draw), strictly interleaved
+        in alive-neighbour order.  Because a numpy ``Generator`` serves
+        ``random(n)`` from the same double stream as ``n`` scalar draws,
+        the interleaved sequence can be replayed from chunked buffers: walk
+        a buffer classifying each double as a loss or jitter draw, and when
+        it runs out, draw exactly the guaranteed minimum still owed (one
+        per undecided receiver, plus a pending jitter draw) — never
+        overshooting, so the generator state after the broadcast is
+        byte-identical to the legacy path's.
+
+        Returns ``(survivors, extra_delays)`` aligned with each other, in
+        receiver order.
+        """
+        rng = self.rng
+        loss_rate = self.loss_rate
+        jitter = self.jitter
+        n = len(receivers)
+        survivors: List[int] = []
+        extras: List[float] = []
+        buf = rng.random(n)
+        avail = n
+        pos = 0
+        i = 0
+        pending_jitter = False
+        while i < n or pending_jitter:
+            if pos == avail:
+                need = (n - i) + (1 if pending_jitter else 0)
+                buf = rng.random(need)
+                avail = need
+                pos = 0
+            draw = buf[pos]
+            pos += 1
+            if pending_jitter:
+                extras.append(jitter * float(draw))
+                pending_jitter = False
+            elif draw < loss_rate:
+                i += 1
+            else:
+                survivors.append(receivers[i])
+                i += 1
+                pending_jitter = True
+        return survivors, extras
+
+    def _schedule_jittered(
+        self,
+        packet: Packet,
+        survivors: List[int],
+        delay: float,
+        extras: "np.ndarray | List[float]",
+    ) -> None:
+        """Time-bucketed fan-out for jittered deliveries.
+
+        Survivors are grouped by their exact arrival time in first-seen
+        (receiver) order: one event per distinct timestamp.  With
+        continuous jitter the buckets are almost always singletons, but
+        coincident arrivals of one transmission collapse into a single
+        ``_arrive_many`` — which delivers in receiver order, exactly the
+        (time, seq) order the legacy per-receiver path produces.
+        """
+        buckets: Dict[float, List[int]] = {}
+        for nbr, extra in zip(survivors, extras):
+            time = delay + float(extra)
+            group = buckets.get(time)
+            if group is None:
+                buckets[time] = [nbr]
+            else:
+                group.append(nbr)
+        schedule = self.sim.schedule_fire_and_forget
+        arrive = self._arrive
+        arrive_many = self._arrive_many
+        for time, group in buckets.items():
+            if len(group) == 1:
+                schedule(time, arrive, packet, group[0])
+            else:
+                schedule(time, arrive_many, packet, group)
 
     def _charge_tx(self, src: int, size_units: float, kind: str) -> None:
         energy = self.cost_model.tx_energy(size_units)

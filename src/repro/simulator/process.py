@@ -15,9 +15,9 @@ inside a process on elected leader nodes.
 from __future__ import annotations
 
 import abc
-from typing import Any, Dict, Iterable, List, Optional
+from typing import Any, Dict, Hashable, Iterable, Optional
 
-from .engine import EventHandle, Simulator
+from .engine import Simulator
 from .network import Packet, WirelessMedium
 
 
@@ -34,7 +34,11 @@ class Process(abc.ABC):
     node_id: int
 
     def __init__(self) -> None:
-        self._timers: List[EventHandle] = []
+        # tag -> stamp of the currently armed timer; stamps come from a
+        # per-process monotone counter so a stale queued event can never
+        # alias a later re-arm of the same tag
+        self._armed_timers: Dict[Hashable, int] = {}
+        self._timer_stamp = 0
 
     # -- lifecycle hooks -----------------------------------------------------
 
@@ -70,26 +74,44 @@ class Process(abc.ABC):
         """Addressed transmission to one neighbour."""
         return self.medium.unicast(self.node_id, dst, kind, payload, size_units)
 
-    def set_timer(self, delay: float, tag: Any = None) -> EventHandle:
-        """Schedule :meth:`on_timer` after ``delay`` (cancellable)."""
-        handle = self.sim.schedule(delay, self._fire_timer, tag)
-        self._timers.append(handle)
-        if len(self._timers) > 256:
-            # prune handles that already fired or were cancelled (their
-            # engine backref is cleared) so long-lived chatty processes
-            # don't accumulate dead references
-            self._timers = [h for h in self._timers if h.sim is not None]
-        return handle
+    def set_timer(self, delay: float, tag: Hashable = None) -> Hashable:
+        """Schedule :meth:`on_timer` after ``delay``; returns ``tag``.
+
+        Timers are tag-indexed: at most one timer per ``tag`` is armed, and
+        re-arming a tag supersedes (cancels) the previous timer.  Cancel
+        with :meth:`cancel_timer` / :meth:`cancel_timers`.  The facility is
+        handle-free — arming, firing, and cancelling are dictionary
+        operations on a generation-stamped registry, with no per-timer
+        :class:`~repro.simulator.engine.EventHandle` allocation or prune
+        scans (tags must be hashable).
+        """
+        armed = self._armed_timers
+        if tag in armed:
+            # the superseded timer's heap entry is now dead weight
+            self.sim.discount_cancelled()
+        self._timer_stamp += 1
+        stamp = self._timer_stamp
+        armed[tag] = stamp
+        self.sim.schedule_timer(delay, armed, tag, stamp, self._fire_timer, tag)
+        return tag
 
     def _fire_timer(self, tag: Any) -> None:
         if self.alive:
             self.on_timer(tag)
 
+    def cancel_timer(self, tag: Hashable = None) -> bool:
+        """Cancel the armed timer of ``tag`` (False if none was armed)."""
+        if self._armed_timers.pop(tag, None) is None:
+            return False
+        self.sim.discount_cancelled()
+        return True
+
     def cancel_timers(self) -> None:
         """Cancel every outstanding timer of this process."""
-        for handle in self._timers:
-            handle.cancel()
-        self._timers.clear()
+        armed = self._armed_timers
+        if armed:
+            self.sim.discount_cancelled(len(armed))
+            armed.clear()
 
 
 class ProcessHost:
@@ -132,9 +154,10 @@ class ProcessHost:
     def start(self, stagger: float = 0.0) -> None:
         """Schedule every process's ``on_start`` at t=now (optionally
         staggered by ``stagger`` per node id, modelling asynchronous
-        boot)."""
+        boot).  Boot events are never cancelled, so they take the
+        handle-free fire-and-forget path."""
         for i, (nid, proc) in enumerate(sorted(self.processes.items())):
-            self.sim.schedule(stagger * i, self._boot, nid, proc)
+            self.sim.schedule_fire_and_forget(stagger * i, self._boot, nid, proc)
 
     def _boot(self, node_id: int, process: Process) -> None:
         if self.medium.network.node(node_id).alive:

@@ -60,6 +60,24 @@ class MediumStats:
             "data_units_sent": self.data_units_sent,
         }
 
+    def fingerprint(self) -> Tuple:
+        """Canonical, order-stable serialization of every counter.
+
+        Two runs are observationally identical at the channel level iff
+        their fingerprints compare equal; the determinism tests and
+        ``repro.bench`` compare these instead of hand-rolled dicts.
+        """
+        return (
+            self.transmissions,
+            self.deliveries,
+            self.drops,
+            self.data_units_sent,
+            self.data_units_received,
+            tuple(sorted(self.by_kind_tx.items())),
+            tuple(sorted(self.by_kind_rx.items())),
+            tuple(sorted(self.by_kind_drop.items())),
+        )
+
 
 @dataclass
 class TraceRecord:

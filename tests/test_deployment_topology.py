@@ -93,7 +93,25 @@ class TestCells:
         net = make_deployment(side=4)
         for cell in net.cells.cells():
             members = net.members_of_cell(cell)
-            assert members == sorted(members)
+            assert list(members) == sorted(members)
+
+    def test_members_alive_view_tracks_liveness(self):
+        net = make_deployment(side=4)
+        cell = next(
+            c for c in net.cells.cells() if len(net.members_of_cell(c)) >= 2
+        )
+        before = net.members_of_cell(cell)
+        victim = before[0]
+        # cached view is reused while liveness is unchanged
+        assert net.members_of_cell(cell) is before
+        net.node(victim).kill()
+        after = net.members_of_cell(cell)
+        assert victim not in after
+        assert set(after) == set(before) - {victim}
+        net.node(victim).revive(energy=1.0)
+        assert set(net.members_of_cell(cell)) == set(before)
+        # the full (alive_only=False) view never changes
+        assert victim in net.members_of_cell(cell, alive_only=False)
 
 
 class TestConnectivity:

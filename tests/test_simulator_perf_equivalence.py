@@ -7,6 +7,8 @@ from __future__ import annotations
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.simulator.engine import Simulator
 from repro.simulator.network import WirelessMedium
@@ -31,13 +33,8 @@ def run_storm(batch_fanout, loss_rate=0.0, jitter=0.0, rounds=3, seed=5):
         for nid in net.alive_ids():
             medium.broadcast(nid, "storm", r)
         sim.run()
-    stats = {
-        **medium.stats.summary(),
-        "by_kind_tx": dict(medium.stats.by_kind_tx),
-        "by_kind_rx": dict(medium.stats.by_kind_rx),
-        "by_kind_drop": dict(medium.stats.by_kind_drop),
-    }
-    ledger = sorted(medium.ledger.per_node().items())
+    stats = medium.stats.fingerprint()
+    ledger = medium.ledger.fingerprint()
     return stats, ledger, arrivals, sim.events_processed
 
 
@@ -61,6 +58,24 @@ def test_batch_fanout_processes_fewer_events():
     # receiver — the whole point of the fast path
     assert batched[3] < legacy[3]
     assert batched[0] == legacy[0]
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=2**32 - 1),
+    loss_rate=st.one_of(st.just(0.0), st.floats(0.01, 0.9)),
+    jitter=st.one_of(st.just(0.0), st.floats(0.01, 2.0)),
+)
+def test_property_batched_byte_identical_to_legacy(seed, loss_rate, jitter):
+    """Across random seeds and every (loss, jitter) regime — including the
+    interleaved loss+jitter stream — the batched path must reproduce the
+    legacy path's MediumStats, energy ledger, and delivery timestamps
+    byte for byte."""
+    batched = run_storm(True, loss_rate, jitter, rounds=2, seed=seed)
+    legacy = run_storm(False, loss_rate, jitter, rounds=2, seed=seed)
+    assert batched[0] == legacy[0], "MediumStats fingerprint diverged"
+    assert batched[1] == legacy[1], "energy ledger fingerprint diverged"
+    assert batched[2] == legacy[2], "delivery order/timestamps diverged"
 
 
 def test_same_seed_same_mode_identical():
