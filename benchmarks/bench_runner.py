@@ -6,6 +6,12 @@ Examples::
 
     PYTHONPATH=src python benchmarks/bench_runner.py                # full run
     PYTHONPATH=src python benchmarks/bench_runner.py --check        # < 60 s gate
+    PYTHONPATH=src python benchmarks/bench_runner.py --workers 4    # E1 suite
+                                  # sharded across 4 repro.sweep workers
+
+Larger ad-hoc parameter sweeps (grids over side / loss / jitter / churn /
+threshold, replicated seeds, multi-core shards, JSONL results) belong to
+the sweep orchestrator instead: ``python -m repro sweep --help``.
 
 The full run appends one per-commit entry to the ``BENCH_micro.json`` and
 ``BENCH_e1.json`` trajectories (events/sec, wall time per N, determinism

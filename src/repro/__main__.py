@@ -1,8 +1,11 @@
-"""Command-line demo entry point: ``python -m repro [side] [threshold]``.
+"""Command-line entry point.
 
-Runs the complete methodology pipeline on a small topographic-query
-instance and prints every stage — a smoke test that doubles as the
-thirty-second tour of the library.
+``python -m repro [side] [threshold]`` runs the complete methodology
+pipeline on a small topographic-query instance and prints every stage —
+a smoke test that doubles as the thirty-second tour of the library.
+
+``python -m repro sweep ...`` dispatches to the sharded experiment-sweep
+orchestrator (see :mod:`repro.sweep.cli` for flags).
 """
 
 from __future__ import annotations
@@ -22,10 +25,15 @@ from .core.analysis import estimate_quadtree, quadtree_step_count
 def main(argv: list[str] | None = None) -> int:
     """Run the demo; returns a process exit code."""
     args = list(sys.argv[1:] if argv is None else argv)
+    if args and args[0] == "sweep":
+        from .sweep.cli import main as sweep_main
+
+        return sweep_main(args[1:])
     side = int(args[0]) if args else 16
     threshold = float(args[1]) if len(args) > 1 else 0.5
-    if side & (side - 1):
-        print(f"side must be a power of two, got {side}", file=sys.stderr)
+    # side <= 0 must not slip through: 0 & -1 == 0 passes the bit trick
+    if side <= 0 or side & (side - 1):
+        print(f"side must be a positive power of two, got {side}", file=sys.stderr)
         return 2
 
     va = VirtualArchitecture(side)

@@ -20,6 +20,8 @@ Usage::
 
     python -m repro.bench                  # full run, appends to BENCH_*.json
     python -m repro.bench --check          # < 60 s smoke mode (tier-2 gate)
+    python -m repro.bench --workers 4      # E1 suite through the repro.sweep
+                                           # shard scheduler on 4 processes
     python -m repro.bench --baseline FILE  # embed pre-change numbers and
                                            # assert the >= 2x speedup target
 
@@ -47,6 +49,7 @@ from .runtime import deploy
 from .simulator.engine import Simulator
 from .simulator.network import WirelessMedium
 from .simulator.process import Process, ProcessHost
+from .sweep import SweepSpec, run_sweep
 
 #: Version tag of the BENCH_*.json layout (2 = per-commit trajectories).
 SCHEMA = 2
@@ -315,29 +318,42 @@ def engine_event_pump(events: int = 200000) -> Dict[str, Any]:
 
 
 def e1_deployed_scaling(
-    sides: Sequence[int] = (4, 8), seed: int = 11
+    sides: Sequence[int] = (4, 8), seed: int = 11, workers: int = 1
 ) -> List[Dict[str, Any]]:
-    """End-to-end ``run_application`` wall time across deployment sizes."""
-    rows = []
-    for side in sides:
-        net = make_deployment(side=side, n_random=side * side * 7, seed=seed)
-        stack = deploy(net)
-        va = VirtualArchitecture(side)
-        spec = va.synthesize(CountAggregation(lambda c: True))
-        t0 = time.perf_counter()
-        result = stack.run_application(spec)
-        wall = time.perf_counter() - t0
-        assert result.root_payload == side * side
-        rows.append(
-            {
-                "side": side,
-                "n_nodes": len(net),
-                "wall_s": wall,
-                "transmissions": result.transmissions,
-                "tx_per_s": result.transmissions / wall,
-            }
+    """End-to-end ``run_application`` wall time across deployment sizes.
+
+    The rows are produced by dispatching the ``e1`` workload through the
+    :mod:`repro.sweep` shard scheduler — serial and in-process with
+    ``workers=1`` (the historical path), multi-core with ``workers>=2``
+    for near-linear wall-clock speedup across sides.  ``seed`` is pinned
+    via the spec's fixed params so every side replays the exact
+    deployment the trajectory artifacts have always recorded, and the
+    per-seed fingerprints are byte-identical in both modes.
+    """
+    spec = SweepSpec(
+        name="bench-e1",
+        workload="e1",
+        grid={"side": [int(s) for s in sides]},
+        fixed={"seed": int(seed)},
+    )
+    records = run_sweep(spec, out_path=None, workers=workers, progress=None)
+    failures = [r for r in records if r["status"] != "ok"]
+    if failures:
+        raise RuntimeError(
+            "E1 sweep runs failed: "
+            + "; ".join(f"{r['run_id']}: {r['error']}" for r in failures)
         )
-    return rows
+    by_side = {int(r["params"]["side"]): r["metrics"] for r in records}
+    return [
+        {
+            "side": int(side),
+            "n_nodes": int(by_side[int(side)]["n_nodes"]),
+            "wall_s": by_side[int(side)]["wall_s"],
+            "transmissions": int(by_side[int(side)]["transmissions"]),
+            "tx_per_s": by_side[int(side)]["tx_per_s"],
+        }
+        for side in sides
+    ]
 
 
 # ---------------------------------------------------------------------------
@@ -453,9 +469,9 @@ def run_micro(smoke: bool = False) -> Dict[str, Any]:
     }
 
 
-def run_e1(smoke: bool = False) -> Dict[str, Any]:
+def run_e1(smoke: bool = False, workers: int = 1) -> Dict[str, Any]:
     sides = (4, 8) if smoke else (4, 8, 16)
-    return {"e1_deployed_scaling": e1_deployed_scaling(sides=sides)}
+    return {"e1_deployed_scaling": e1_deployed_scaling(sides=sides, workers=workers)}
 
 
 # ---------------------------------------------------------------------------
@@ -584,6 +600,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         help="record speedups/regressions without gating on them "
         "(noisy machines)",
     )
+    parser.add_argument(
+        "--workers", type=int, default=1, metavar="N",
+        help="dispatch the E1 scaling suite through the repro.sweep shard "
+        "scheduler on N worker processes (default 1 = serial in-process)",
+    )
     args = parser.parse_args(argv)
 
     determinism = check_determinism(rounds=3 if args.check else 5)
@@ -592,7 +613,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
           f"legacy {determinism['events_legacy']})")
 
     micro = run_micro(smoke=args.check)
-    e1 = run_e1(smoke=args.check)
+    e1 = run_e1(smoke=args.check, workers=args.workers)
     for name, row in micro.items():
         rate = {k: v for k, v in row.items() if k.endswith("_per_s")}
         print(f"{name}: wall={row['wall_s']:.3f}s {rate}")

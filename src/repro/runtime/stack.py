@@ -68,6 +68,7 @@ class DeployedRunResult:
     transmissions: int
     drops: int
     delivered_envelopes: int
+    events_processed: int = 0
 
     @property
     def root_payload(self) -> Any:
@@ -223,6 +224,7 @@ class DeployedStack:
             transmissions=medium.stats.transmissions,
             drops=counters["dropped"],
             delivered_envelopes=counters["delivered"],
+            events_processed=sim.events_processed,
         )
 
 

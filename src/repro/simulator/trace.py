@@ -8,8 +8,22 @@ runs and for the convergence-time measurements of experiments E4/E5.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
+
+
+def stable_digest(obj: Any) -> str:
+    """Short stable hex digest of a fingerprint-style value.
+
+    Intended for the canonical tuples :meth:`MediumStats.fingerprint` and
+    ``EnergyLedger.fingerprint`` return — nested tuples of ints, floats,
+    and strings, whose ``repr`` is deterministic across processes (Python
+    reprs floats as their shortest round-trip form).  The digest is what
+    sweep result records carry: JSON-friendly, order-stable, and
+    comparable across shards, machines, and commits.
+    """
+    return hashlib.sha256(repr(obj).encode()).hexdigest()[:16]
 
 
 @dataclass
@@ -77,6 +91,10 @@ class MediumStats:
             tuple(sorted(self.by_kind_rx.items())),
             tuple(sorted(self.by_kind_drop.items())),
         )
+
+    def fingerprint_digest(self) -> str:
+        """JSON-friendly digest of :meth:`fingerprint` for result records."""
+        return stable_digest(self.fingerprint())
 
 
 @dataclass

@@ -1,0 +1,115 @@
+"""End-to-end self check of the sweep orchestrator (the CI smoke gate).
+
+Runs one tiny spec three ways and asserts the subsystem's headline
+guarantees hold on this machine:
+
+1. **serial vs sharded** — the same spec through the in-process path and
+   through a multi-worker pool must produce identical per-run
+   fingerprints, and the scheduled cross-shard audit duplicates must
+   agree with their primaries;
+2. **resume round trip** — a sink truncated mid-sweep (an orchestrator
+   kill) plus a resumed run must yield the complete result set, again
+   fingerprint-identical, re-executing only the missing runs;
+3. **crash recovery** — with a worker hard-crash injected on one run
+   (``REPRO_SWEEP_CRASH_RUN``), the scheduler must retry it on a fresh
+   process and still deliver the complete, identical result set.
+
+Exposed as ``python -m repro sweep --self-check``.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from typing import Dict, List, Optional
+
+from .sink import append_record, audit_determinism, load_records
+from .spec import SweepSpec
+from .scheduler import print_progress, run_sweep
+from .worker import CRASH_ENV
+
+#: The tiny grid every self-check runs: 2x2 regimes x 2 replicates
+#: (+2 cross-shard audit duplicates) of the medium storm workload.
+SELF_CHECK_SPEC = SweepSpec(
+    name="selfcheck",
+    workload="storm",
+    grid={"loss": [0.0, 0.15], "jitter": [0.0, 0.3]},
+    fixed={"side": 4, "n_random": 70, "rounds": 2},
+    replicates=2,
+    audit_duplicates=2,
+)
+
+
+def _fingerprints(records: List[Dict]) -> Dict[str, Optional[str]]:
+    return {r["run_id"]: r["fingerprint"] for r in records}
+
+
+def self_check(workers: int = 2, quiet: bool = False) -> int:
+    """Run the three-way check; returns a process exit code (0 = pass)."""
+    def say(*parts: object) -> None:
+        if not quiet:
+            print(*parts)
+
+    progress = None if quiet else print_progress
+    spec = SELF_CHECK_SPEC
+    total = len(spec.expand())
+    with tempfile.TemporaryDirectory(prefix="repro-sweep-check-") as tmp:
+        serial = run_sweep(
+            spec, out_path=os.path.join(tmp, "serial.jsonl"), workers=1,
+        )
+        assert len(serial) == total, f"serial sweep incomplete: {len(serial)}/{total}"
+        assert all(r["status"] == "ok" for r in serial), "serial sweep had failures"
+
+        sharded = run_sweep(
+            spec, out_path=os.path.join(tmp, "sharded.jsonl"),
+            workers=workers, timeout_s=300.0, retries=1, progress=progress,
+        )
+        assert _fingerprints(sharded) == _fingerprints(serial), (
+            "sharded fingerprints diverged from the serial reference"
+        )
+        audit = audit_determinism(sharded)
+        assert audit.pairs_checked == spec.audit_duplicates and audit.ok, (
+            f"cross-shard determinism audit failed: {audit.mismatches}"
+        )
+        say(f"self-check 1/3: serial == sharded({workers}) fingerprints "
+            f"for {total} runs; {audit.pairs_checked} cross-shard audit pairs OK")
+
+        resume_path = os.path.join(tmp, "resume.jsonl")
+        survivors = serial[: total // 2]
+        for record in survivors:
+            append_record(resume_path, record)
+        with open(resume_path, "a") as fh:
+            fh.write('{"schema": 1, "kind": "run", "run_id": "torn')  # killed mid-write
+        resumed = run_sweep(
+            spec, out_path=resume_path, workers=workers,
+            timeout_s=300.0, retries=1,
+        )
+        assert _fingerprints(resumed) == _fingerprints(serial), (
+            "resumed sweep diverged from the serial reference"
+        )
+        on_disk = load_records(resume_path)
+        assert len({r["run_id"] for r in on_disk}) == total, "resume lost runs"
+        say(f"self-check 2/3: resume after mid-sweep kill completed "
+            f"{total - len(survivors)} missing runs; result set identical")
+
+        victim = next(r for r in spec.expand() if not r.audit)
+        crash_path = os.path.join(tmp, "crash.jsonl")
+        os.environ[CRASH_ENV] = victim.run_id
+        try:
+            crashed = run_sweep(
+                spec, out_path=crash_path, workers=workers,
+                timeout_s=300.0, retries=1,
+            )
+        finally:
+            del os.environ[CRASH_ENV]
+        assert _fingerprints(crashed) == _fingerprints(serial), (
+            "post-crash result set diverged from the serial reference"
+        )
+        victim_record = next(r for r in crashed if r["run_id"] == victim.run_id)
+        assert victim_record["attempt"] >= 2, (
+            f"crashed run was not retried (attempt={victim_record['attempt']})"
+        )
+        say(f"self-check 3/3: injected worker crash on {victim.run_id} "
+            f"recovered on attempt {victim_record['attempt']}; result set identical")
+    say("sweep self-check: PASS")
+    return 0

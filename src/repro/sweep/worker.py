@@ -1,0 +1,109 @@
+"""Worker-side execution: one run -> one structured result record.
+
+:func:`execute_run` is the single choke point through which every run of a
+sweep passes, in the parent (serial mode) and in shard worker processes
+alike — so a record looks the same no matter where it was produced.  A
+workload exception becomes a ``status="failed"`` record with the error
+attached; it never takes the sweep down.
+
+:func:`shard_main` is the entry point of one shard process: it executes
+its assigned runs sequentially and streams ``begin`` / ``done`` / ``fin``
+messages back over a queue.  The parent is the only JSONL writer, so shard
+output never interleaves.
+
+Fault injection for tests and the CI smoke job: setting the
+``REPRO_SWEEP_CRASH_RUN`` environment variable to a run id makes the shard
+process hard-exit (``os._exit(3)``) when it reaches that run, for attempts
+``<= REPRO_SWEEP_CRASH_ATTEMPTS`` (default 1).  Only worker processes
+honor it, so a serial sweep in the parent is never killed.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+import traceback
+from typing import Any, Dict, List, Tuple
+
+from .spec import RunSpec
+from .workloads import get_workload
+
+#: Version tag of the JSONL result-record layout.
+RECORD_SCHEMA = 1
+
+#: Env var naming a run id on which worker processes hard-exit (tests/CI).
+CRASH_ENV = "REPRO_SWEEP_CRASH_RUN"
+#: Env var bounding how many attempts of that run crash (default 1).
+CRASH_ATTEMPTS_ENV = "REPRO_SWEEP_CRASH_ATTEMPTS"
+
+
+def base_record(run: RunSpec, shard: int, attempt: int) -> Dict[str, Any]:
+    """The identity portion shared by success and failure records."""
+    record = {"schema": RECORD_SCHEMA, "kind": "run"}
+    record.update(run.record_fields())
+    record["shard"] = shard
+    record["attempt"] = attempt
+    return record
+
+
+def failure_record(
+    run: RunSpec, shard: int, attempt: int, error: str, elapsed_s: float = 0.0
+) -> Dict[str, Any]:
+    """A structured failure: the run is accounted for, never lost."""
+    record = base_record(run, shard, attempt)
+    record.update(
+        {
+            "status": "failed",
+            "error": error,
+            "elapsed_s": elapsed_s,
+            "metrics": {},
+            "fingerprint": None,
+        }
+    )
+    return record
+
+
+def execute_run(
+    run: RunSpec, attempt: int = 1, shard: int = -1, in_worker: bool = False
+) -> Dict[str, Any]:
+    """Execute one run and return its result record (never raises)."""
+    if (
+        in_worker
+        and os.environ.get(CRASH_ENV) == run.run_id
+        and attempt <= int(os.environ.get(CRASH_ATTEMPTS_ENV, "1"))
+    ):
+        os._exit(3)
+    t0 = time.perf_counter()
+    try:
+        outcome = get_workload(run.workload)(dict(run.params), run.seed)
+    except Exception as exc:  # noqa: BLE001 - a failed point must not lose the sweep
+        tail = traceback.format_exc(limit=3).strip().splitlines()[-1]
+        return failure_record(
+            run,
+            shard,
+            attempt,
+            error=f"{type(exc).__name__}: {exc} ({tail})",
+            elapsed_s=time.perf_counter() - t0,
+        )
+    record = base_record(run, shard, attempt)
+    record.update(
+        {
+            "status": "ok",
+            "error": None,
+            "elapsed_s": time.perf_counter() - t0,
+            "metrics": dict(outcome.metrics),
+            "fingerprint": outcome.fingerprint,
+        }
+    )
+    return record
+
+
+def shard_main(
+    shard_id: int, assignments: List[Tuple[RunSpec, int]], queue: Any
+) -> None:
+    """Shard process entry point: run the assignment, stream results."""
+    for run, attempt in assignments:
+        queue.put(("begin", shard_id, (run.run_id, attempt)))
+        record = execute_run(run, attempt=attempt, shard=shard_id, in_worker=True)
+        queue.put(("done", shard_id, record))
+    queue.put(("fin", shard_id, None))

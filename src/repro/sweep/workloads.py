@@ -1,0 +1,295 @@
+"""The sweep workload registry: named, seed-pure experiment kernels.
+
+Every workload is a function ``(params, seed) -> WorkloadOutcome`` that
+builds its whole world (deployment, simulator, stack) from the params and
+the seed, runs one experiment, and returns flat numeric metrics plus a
+fingerprint digest.  Purity is the contract the scheduler relies on: given
+the same ``(params, seed)`` a workload must produce the same fingerprint in
+any process on any shard, which is what makes the cross-shard determinism
+audit and serial-vs-sharded equivalence meaningful.
+
+Registered workloads:
+
+``e1``      deployed quad-tree scaling (the E1 benchmark kernel): build a
+            covered deployment of ``side**2 * 7`` nodes, run the Section 5
+            protocols, execute one synthesized counting round.
+``storm``   medium broadcast storm over ``loss`` / ``jitter`` regimes —
+            the channel hot path in isolation.
+``regions`` the paper's topographic-query case study on the virtual
+            architecture, sweeping ``side`` / ``threshold``.
+``churn``   maintenance under failure: kill a ``churn`` fraction of cell
+            leaders (plus optional ``node_churn`` random nodes), run the
+            Section 5.1 recovery path, optionally rotate leaders, and
+            re-run the application on the recovered stack.
+
+Names starting with ``_`` are internal fault-injection workloads used by
+the scheduler's own tests.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List
+
+import numpy as np
+
+from ..core import CountAggregation, VirtualArchitecture
+from ..deployment import CellGrid, Terrain, build_network, ensure_coverage, uniform_random
+from ..deployment.topology import RealNetwork
+from ..runtime import deploy, kill_leaders, kill_random_nodes, recover, rotate_leaders
+from ..simulator.engine import Simulator
+from ..simulator.network import WirelessMedium
+from ..simulator.trace import stable_digest
+
+
+@dataclass
+class WorkloadOutcome:
+    """What one workload run reports back to the scheduler."""
+
+    metrics: Dict[str, float] = field(default_factory=dict)
+    fingerprint: str = ""
+
+
+WorkloadFn = Callable[[Dict[str, Any], int], WorkloadOutcome]
+
+#: Registry of named workloads; extend with :func:`workload`.
+WORKLOADS: Dict[str, WorkloadFn] = {}
+
+
+def workload(name: str) -> Callable[[WorkloadFn], WorkloadFn]:
+    """Decorator registering a sweep workload under ``name``."""
+
+    def register(fn: WorkloadFn) -> WorkloadFn:
+        WORKLOADS[name] = fn
+        return fn
+
+    return register
+
+
+def get_workload(name: str) -> WorkloadFn:
+    """Look up a workload; raises with the known names on a miss."""
+    try:
+        return WORKLOADS[name]
+    except KeyError:
+        known = ", ".join(sorted(k for k in WORKLOADS if not k.startswith("_")))
+        raise KeyError(f"unknown workload {name!r} (known: {known})") from None
+
+
+def public_workloads() -> List[str]:
+    """The user-facing workload names (internal ``_``-prefixed ones hidden)."""
+    return sorted(k for k in WORKLOADS if not k.startswith("_"))
+
+
+def _make_deployment(
+    side: int, n_random: int, seed: int, range_cells: float = 2.3
+) -> RealNetwork:
+    """A covered deployment over ``side x side`` cells (the bench layout)."""
+    terrain = Terrain(100.0)
+    cells = CellGrid(terrain, side)
+    rng = np.random.default_rng(seed)
+    positions = ensure_coverage(uniform_random(n_random, terrain, rng), cells, rng)
+    return build_network(positions, cells, tx_range=cells.cell_side * range_cells)
+
+
+@workload("e1")
+def e1_scaling(params: Dict[str, Any], seed: int) -> WorkloadOutcome:
+    """One deployed quad-tree counting round at ``side`` (the E1 kernel)."""
+    side = int(params.get("side", 8))
+    n_random = int(params.get("n_random", side * side * 7))
+    loss = float(params.get("loss", 0.0))
+    reliable = bool(params.get("reliable", loss > 0.0))
+    net = _make_deployment(side, n_random, seed)
+    stack = deploy(net)
+    va = VirtualArchitecture(side)
+    spec = va.synthesize(CountAggregation(lambda c: True))
+    t0 = time.perf_counter()
+    result = stack.run_application(
+        spec, loss_rate=loss, rng=np.random.default_rng(seed), reliable=reliable
+    )
+    wall = time.perf_counter() - t0
+    if result.root_payload != side * side:
+        raise RuntimeError(
+            f"E1 count mismatch: got {result.root_payload}, want {side * side}"
+        )
+    return WorkloadOutcome(
+        metrics={
+            "side": float(side),
+            "n_nodes": float(len(net)),
+            "wall_s": wall,
+            "transmissions": float(result.transmissions),
+            "tx_per_s": result.transmissions / wall,
+            "latency": result.latency,
+            "events_processed": float(result.events_processed),
+        },
+        fingerprint=stable_digest(
+            (
+                result.ledger.fingerprint(),
+                result.transmissions,
+                result.drops,
+                result.latency,
+                result.events_processed,
+            )
+        ),
+    )
+
+
+@workload("storm")
+def broadcast_storm(params: Dict[str, Any], seed: int) -> WorkloadOutcome:
+    """Every alive node broadcasts once per round; pure medium hot path."""
+    side = int(params.get("side", 8))
+    n_random = int(params.get("n_random", side * side * 6))
+    rounds = int(params.get("rounds", 10))
+    loss = float(params.get("loss", 0.0))
+    jitter = float(params.get("jitter", 0.0))
+    net = _make_deployment(side, n_random, seed)
+    sim = Simulator()
+    medium = WirelessMedium(
+        sim, net, loss_rate=loss, jitter=jitter, rng=np.random.default_rng(seed)
+    )
+    ids = net.alive_ids()
+    t0 = time.perf_counter()
+    for r in range(rounds):
+        for nid in ids:
+            medium.broadcast(nid, "storm", r)
+        sim.run()
+    wall = time.perf_counter() - t0
+    return WorkloadOutcome(
+        metrics={
+            "wall_s": wall,
+            "transmissions": float(medium.stats.transmissions),
+            "deliveries": float(medium.stats.deliveries),
+            "drops": float(medium.stats.drops),
+            "events_processed": float(sim.events_processed),
+            "deliveries_per_s": medium.stats.deliveries / wall,
+        },
+        fingerprint=stable_digest(
+            (
+                medium.stats.fingerprint(),
+                medium.ledger.fingerprint(),
+                sim.events_processed,
+            )
+        ),
+    )
+
+
+@workload("regions")
+def topographic_regions(params: Dict[str, Any], seed: int) -> WorkloadOutcome:
+    """The case study on the virtual architecture: sweep side x threshold."""
+    from ..apps import GaussianBlobField, TopographicQueryApp
+
+    side = int(params.get("side", 16))
+    threshold = float(params.get("threshold", 0.5))
+    blobs = params.get(
+        "blobs", [(0.28, 0.32, 0.11, 1.0), (0.72, 0.66, 0.08, 0.9)]
+    )
+    va = VirtualArchitecture(side)
+    app = TopographicQueryApp(va, GaussianBlobField([tuple(b) for b in blobs]), threshold)
+    t0 = time.perf_counter()
+    report = app.run_virtual()
+    wall = time.perf_counter() - t0
+    perf = report.performance
+    return WorkloadOutcome(
+        metrics={
+            "wall_s": wall,
+            "regions": float(report.regions),
+            "correct": float(report.correct),
+            "latency": perf.latency,
+            "total_energy": perf.total_energy,
+            "messages": float(perf.messages),
+            "events_processed": float(perf.messages),
+        },
+        fingerprint=stable_digest(
+            (
+                report.regions,
+                report.expected_regions,
+                report.correct,
+                perf.latency,
+                perf.total_energy,
+                perf.messages,
+            )
+        ),
+    )
+
+
+@workload("churn")
+def leader_churn(params: Dict[str, Any], seed: int) -> WorkloadOutcome:
+    """Failure/recovery cycle: kill leaders, recover, optionally rotate.
+
+    ``churn`` is the fraction of cells whose bound leader is killed;
+    ``node_churn`` additionally kills a uniform fraction of remaining
+    nodes.  An unrecoverable deployment (emptied cell) is *not* an error —
+    it is the measured outcome (``recovered = 0``), matching E8.
+    """
+    side = int(params.get("side", 4))
+    n_random = int(params.get("n_random", 150))
+    churn = float(params.get("churn", 0.25))
+    node_churn = float(params.get("node_churn", 0.0))
+    rotate = bool(params.get("rotate", False))
+    if not 0.0 <= churn <= 1.0:
+        raise ValueError(f"churn must be in [0, 1], got {churn}")
+    net = _make_deployment(side, n_random, seed)
+    stack = deploy(net)
+    rng = np.random.default_rng(seed)
+    cells = sorted(stack.binding.leaders)
+    k = int(round(churn * len(cells)))
+    victims = (
+        [cells[i] for i in sorted(rng.choice(len(cells), size=k, replace=False))]
+        if k
+        else []
+    )
+    killed = kill_leaders(net, stack.binding, cells=victims)
+    extra = kill_random_nodes(net, node_churn, rng=rng) if node_churn > 0 else []
+    report = recover(net, previous=stack)
+    metrics: Dict[str, float] = {
+        "killed_leaders": float(len(killed)),
+        "killed_random": float(len(extra)),
+        "recovered": float(report.recovered),
+        "reelected_cells": float(report.reelected_cells),
+        "setup_messages": float(report.setup_messages),
+        "setup_energy": report.setup_energy,
+        "events_processed": 0.0,
+    }
+    fp_parts: List[Any] = [
+        tuple(sorted(killed)),
+        tuple(sorted(extra)),
+        report.recovered,
+        report.reelected_cells,
+        report.setup_messages,
+        report.setup_energy,
+        tuple(report.precondition_problems),
+    ]
+    if report.recovered:
+        live = rotate_leaders(net) if rotate else report.stack
+        if rotate:
+            moved = sum(
+                1
+                for cell in cells
+                if live.binding.leaders.get(cell) != report.stack.binding.leaders.get(cell)
+            )
+            metrics["rotated_cells"] = float(moved)
+            fp_parts.append(tuple(sorted((str(c), n) for c, n in live.binding.leaders.items())))
+        va = VirtualArchitecture(side)
+        run = live.run_application(va.synthesize(CountAggregation(lambda c: True)))
+        metrics["app_count"] = float(run.root_payload)
+        metrics["app_latency"] = run.latency
+        metrics["events_processed"] = float(run.events_processed)
+        fp_parts.extend([run.ledger.fingerprint(), run.transmissions, run.latency])
+    return WorkloadOutcome(metrics=metrics, fingerprint=stable_digest(tuple(fp_parts)))
+
+
+@workload("_sleep")
+def _sleep(params: Dict[str, Any], seed: int) -> WorkloadOutcome:
+    """Test-only: sleep for ``sleep_s`` (exercises the hang-timeout path)."""
+    duration = float(params.get("sleep_s", 0.05))
+    time.sleep(duration)
+    return WorkloadOutcome(
+        metrics={"slept_s": duration, "events_processed": 0.0},
+        fingerprint=stable_digest(("sleep", duration, seed)),
+    )
+
+
+@workload("_fail")
+def _fail(params: Dict[str, Any], seed: int) -> WorkloadOutcome:
+    """Test-only: always raises (exercises the structured-failure path)."""
+    raise RuntimeError("injected workload failure")

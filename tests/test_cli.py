@@ -28,3 +28,17 @@ class TestCli:
         assert main(["6"]) == 2
         err = capsys.readouterr().err
         assert "power of two" in err
+
+    @pytest.mark.parametrize("side", ["0", "-1", "-4"])
+    def test_rejects_non_positive_side(self, side, capsys):
+        # 0 & -1 == 0 would slip a bare power-of-two check
+        assert main([side]) == 2
+        err = capsys.readouterr().err
+        assert "power of two" in err
+        assert f"got {side}" in err
+
+    def test_sweep_subcommand_dispatches(self, capsys):
+        assert main(["sweep", "--list-workloads"]) == 0
+        out = capsys.readouterr().out
+        assert "e1" in out
+        assert "storm" in out

@@ -13,6 +13,7 @@ from repro.runtime import (
     recover,
     rotate_leaders,
 )
+from repro.sweep import SweepSpec, run_sweep
 
 from conftest import make_deployment
 
@@ -126,3 +127,85 @@ class TestLeaderRotation:
             cell for cell, seen in leaders_seen.items() if len(seen) > 1
         ]
         assert len(multi_leader_cells) >= 8
+
+
+class TestChurnUnderSweep:
+    """Drive kill_leaders / recover / rotate_leaders through the churn
+    workload across a sweep grid, so the maintenance paths are exercised
+    with many parameter regimes and independent derived seeds."""
+
+    def sweep(self, grid, fixed=None, replicates=1):
+        spec = SweepSpec(
+            name="maint",
+            workload="churn",
+            grid=grid,
+            fixed={"side": 4, "n_random": 150, **(fixed or {})},
+            replicates=replicates,
+        )
+        records = run_sweep(spec, workers=1)
+        assert all(r["status"] == "ok" for r in records), [
+            r["error"] for r in records if r["status"] != "ok"
+        ]
+        return records
+
+    def test_churn_grid_recovers_and_reelects(self):
+        records = self.sweep({"churn": [0.0, 0.25, 0.5, 1.0]})
+        by_churn = {r["params"]["churn"]: r["metrics"] for r in records}
+        for churn, metrics in by_churn.items():
+            assert metrics["killed_leaders"] == round(churn * 16)
+            assert metrics["recovered"] == 1.0
+            # every emptied leadership slot was re-elected, and the
+            # recovered stack still counts all 16 cells
+            assert metrics["reelected_cells"] >= metrics["killed_leaders"]
+            assert metrics["app_count"] == 16.0
+        assert by_churn[1.0]["reelected_cells"] == 16.0
+
+    def test_node_churn_composes_with_leader_churn(self):
+        records = self.sweep(
+            {"node_churn": [0.0, 0.1, 0.2]}, fixed={"churn": 0.25},
+        )
+        for r in records:
+            metrics = r["metrics"]
+            assert metrics["killed_leaders"] == 4.0
+            expected_extra = r["params"]["node_churn"] > 0
+            assert (metrics["killed_random"] > 0) == expected_extra
+            assert metrics["recovered"] == 1.0
+            assert metrics["app_count"] == 16.0
+
+    def test_rotation_after_recovery(self):
+        records = self.sweep(
+            {"rotate": [False, True]}, fixed={"churn": 0.5}, replicates=2,
+        )
+        for r in records:
+            metrics = r["metrics"]
+            assert metrics["recovered"] == 1.0
+            assert metrics["app_count"] == 16.0
+            if r["params"]["rotate"]:
+                assert "rotated_cells" in metrics
+            else:
+                assert "rotated_cells" not in metrics
+
+    def test_unrecoverable_deployment_is_a_measured_outcome(self):
+        # one node per cell: killing any leader empties its cell, so
+        # recovery must report failure (not raise) and skip the app run
+        records = self.sweep(
+            {"churn": [0.25, 1.0]}, fixed={"n_random": 0},
+        )
+        for r in records:
+            metrics = r["metrics"]
+            assert metrics["recovered"] == 0.0
+            assert "app_count" not in metrics
+
+    def test_churn_workload_is_seed_deterministic(self):
+        a = self.sweep({"churn": [0.5]}, fixed={"node_churn": 0.1})
+        b = self.sweep({"churn": [0.5]}, fixed={"node_churn": 0.1})
+        assert [r["fingerprint"] for r in a] == [r["fingerprint"] for r in b]
+
+    def test_churn_rejects_out_of_range_fraction(self):
+        spec = SweepSpec(
+            name="bad", workload="churn", grid={"churn": [1.5]},
+            fixed={"side": 4, "n_random": 150},
+        )
+        records = run_sweep(spec, workers=1)
+        assert records[0]["status"] == "failed"
+        assert "churn must be in [0, 1]" in records[0]["error"]

@@ -1,0 +1,193 @@
+"""Integration tests for the sharded sweep scheduler.
+
+These spawn real worker processes (tiny workloads, so each test stays in
+the seconds range even on one core) and pin the subsystem's guarantees:
+serial == sharded fingerprints, structured failures instead of lost runs,
+hung-run timeouts, crashed-worker retry, and resume-from-partial-results.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.sweep import (
+    SweepSpec,
+    append_record,
+    audit_determinism,
+    execute_run,
+    load_records,
+    run_sweep,
+)
+from repro.sweep.worker import CRASH_ENV
+
+#: Small but non-trivial: 2 loss regimes x 2 replicates + 2 audit dups.
+TINY_STORM = SweepSpec(
+    name="sched-test",
+    workload="storm",
+    grid={"loss": [0.0, 0.2]},
+    fixed={"side": 4, "n_random": 70, "rounds": 2},
+    replicates=2,
+    audit_duplicates=2,
+)
+
+
+def fingerprints(records):
+    return {r["run_id"]: r["fingerprint"] for r in records}
+
+
+class TestSerialPath:
+    def test_one_record_per_expanded_run(self, tmp_path):
+        records = run_sweep(TINY_STORM, workers=1)
+        assert len(records) == len(TINY_STORM.expand()) == 6
+        assert all(r["status"] == "ok" for r in records)
+        assert all(r["fingerprint"] for r in records)
+
+    def test_same_seed_reexecution_is_fingerprint_identical(self):
+        run = TINY_STORM.expand()[0]
+        assert (
+            execute_run(run)["fingerprint"] == execute_run(run)["fingerprint"]
+        )
+
+    def test_audit_pairs_agree_in_process(self):
+        report = audit_determinism(run_sweep(TINY_STORM, workers=1))
+        assert report.pairs_checked == 2
+        assert report.ok
+
+
+class TestShardedPath:
+    def test_sharded_matches_serial_fingerprints(self):
+        serial = run_sweep(TINY_STORM, workers=1)
+        sharded = run_sweep(TINY_STORM, workers=2, timeout_s=120, retries=1)
+        assert fingerprints(sharded) == fingerprints(serial)
+
+    def test_audit_duplicates_land_on_a_different_shard(self):
+        sharded = run_sweep(TINY_STORM, workers=2, timeout_s=120, retries=1)
+        by_id = {r["run_id"]: r for r in sharded}
+        audits = [r for r in sharded if r["audit"]]
+        assert audits
+        for dup in audits:
+            primary = by_id[dup["run_id"].removesuffix("#audit")]
+            assert dup["shard"] != primary["shard"]
+        assert audit_determinism(sharded).ok
+
+    def test_workload_exception_becomes_structured_failure(self):
+        spec = SweepSpec(name="boom", workload="_fail", grid={"x": [1, 2, 3]})
+        records = run_sweep(spec, workers=2, retries=0)
+        assert len(records) == 3
+        assert all(r["status"] == "failed" for r in records)
+        assert all("injected workload failure" in r["error"] for r in records)
+
+    def test_unknown_workload_is_a_structured_failure_not_a_crash(self):
+        spec = SweepSpec(name="nope", workload="no-such-workload", grid={})
+        records = run_sweep(spec, workers=2, retries=0)
+        assert len(records) == 1
+        assert records[0]["status"] == "failed"
+        assert "unknown workload" in records[0]["error"]
+
+    def test_hung_run_times_out_with_bounded_retries(self):
+        spec = SweepSpec(
+            name="hang", workload="_sleep", grid={"sleep_s": [30.0]},
+        )
+        records = run_sweep(spec, workers=2, timeout_s=0.3, retries=1)
+        assert len(records) == 1
+        assert records[0]["status"] == "failed"
+        assert "timed out" in records[0]["error"]
+        assert records[0]["attempt"] == 2  # first try + one retry
+
+    def test_crashed_worker_is_retried_and_recovers(self, monkeypatch):
+        victim = next(r for r in TINY_STORM.expand() if not r.audit)
+        monkeypatch.setenv(CRASH_ENV, victim.run_id)
+        records = run_sweep(TINY_STORM, workers=2, timeout_s=120, retries=1)
+        assert len(records) == len(TINY_STORM.expand())
+        victim_record = next(r for r in records if r["run_id"] == victim.run_id)
+        assert victim_record["status"] == "ok"
+        assert victim_record["attempt"] >= 2
+        monkeypatch.delenv(CRASH_ENV)
+        assert fingerprints(records) == fingerprints(run_sweep(TINY_STORM, workers=1))
+
+    def test_persistently_crashing_run_degrades_to_failure(self, monkeypatch):
+        spec = SweepSpec(
+            name="crashy", workload="_sleep",
+            grid={"sleep_s": [0.0, 0.01]},
+        )
+        victim = spec.expand()[0]
+        monkeypatch.setenv(CRASH_ENV, victim.run_id)
+        monkeypatch.setenv("REPRO_SWEEP_CRASH_ATTEMPTS", "99")  # never stops crashing
+        records = run_sweep(spec, workers=2, timeout_s=60, retries=1)
+        assert len(records) == 2
+        by_id = {r["run_id"]: r for r in records}
+        assert by_id[victim.run_id]["status"] == "failed"
+        assert "crashed" in by_id[victim.run_id]["error"]
+        survivor = spec.expand()[1]
+        assert by_id[survivor.run_id]["status"] == "ok"
+
+
+class TestResume:
+    def test_resume_skips_completed_runs(self, tmp_path):
+        path = str(tmp_path / "resume.jsonl")
+        serial = run_sweep(TINY_STORM, workers=1)
+        half = len(serial) // 2
+        for record in serial[:half]:
+            append_record(path, record)
+        resumed = run_sweep(TINY_STORM, out_path=path, workers=2,
+                            timeout_s=120, retries=1)
+        assert fingerprints(resumed) == fingerprints(serial)
+        # the pre-seeded records were reused verbatim, not re-executed
+        kept = {r["run_id"]: r for r in resumed}
+        for record in serial[:half]:
+            assert kept[record["run_id"]] == record
+        on_disk = load_records(path)
+        assert {r["run_id"] for r in on_disk} == {r["run_id"] for r in serial}
+
+    def test_failed_records_are_retried_on_resume(self, tmp_path):
+        path = str(tmp_path / "resume.jsonl")
+        spec = SweepSpec(
+            name="retry-on-resume", workload="storm",
+            grid={"loss": [0.0]}, fixed={"side": 4, "n_random": 70, "rounds": 2},
+        )
+        run = spec.expand()[0]
+        failed = {
+            **run.record_fields(),
+            "schema": 1, "kind": "run", "shard": 0, "attempt": 2,
+            "status": "failed", "error": "timeout", "elapsed_s": 0.0,
+            "metrics": {}, "fingerprint": None,
+        }
+        append_record(path, failed)
+        records = run_sweep(spec, out_path=path, workers=1)
+        assert len(records) == 1
+        assert records[0]["status"] == "ok"
+
+    def test_no_resume_reruns_everything(self, tmp_path):
+        path = str(tmp_path / "sink.jsonl")
+        first = run_sweep(TINY_STORM, out_path=path, workers=1)
+        again = run_sweep(TINY_STORM, out_path=path, workers=1, resume=False)
+        assert fingerprints(again) == fingerprints(first)
+        # both passes appended: the sink keeps full history
+        assert len(load_records(path)) == 2 * len(first)
+
+
+class TestWallClockAcceptance:
+    @pytest.mark.skipif(
+        (os.cpu_count() or 1) < 4,
+        reason="speedup acceptance needs >= 4 physical cores",
+    )
+    def test_e1_grid_on_4_workers_beats_serial_by_2_5x(self):
+        import time
+
+        spec = SweepSpec(
+            name="e1-accept", workload="e1",
+            grid={"side": [4, 8]}, replicates=8,  # 16 runs
+        )
+        t0 = time.perf_counter()
+        serial = run_sweep(spec, workers=1)
+        t_serial = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        sharded = run_sweep(spec, workers=4, timeout_s=600, retries=1)
+        t_sharded = time.perf_counter() - t0
+        assert fingerprints(sharded) == fingerprints(serial)
+        assert t_serial / t_sharded >= 2.5, (
+            f"sweep speedup only {t_serial / t_sharded:.2f}x "
+            f"(serial {t_serial:.2f}s, 4 workers {t_sharded:.2f}s)"
+        )
