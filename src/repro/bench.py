@@ -20,8 +20,9 @@ Usage::
 
     python -m repro.bench                  # full run, appends to BENCH_*.json
     python -m repro.bench --check          # < 60 s smoke mode (tier-2 gate)
-    python -m repro.bench --workers 4      # E1 suite through the repro.sweep
-                                           # shard scheduler on 4 processes
+    python -m repro.bench --workers 4      # micro + E1 suites through the
+                                           # repro.sweep shard scheduler on
+                                           # 4 worker processes
     python -m repro.bench --baseline FILE  # embed pre-change numbers and
                                            # assert the >= 2x speedup target
 
@@ -317,6 +318,97 @@ def engine_event_pump(events: int = 200000) -> Dict[str, Any]:
     }
 
 
+def wire_codec_roundtrip(ops: int = 50_000, seed: int = 11) -> Dict[str, Any]:
+    """Encode+decode of a 1-unit reliable envelope: the per-hop codec cost
+    that ``wire_format=True`` adds to every transport transmission."""
+    from .core.program import Message
+    from .runtime import wire
+    from .runtime.routing import TransportEnvelope
+
+    envelope = TransportEnvelope(
+        src_cell=(0, 0),
+        dst_cell=(7, 7),
+        inner=Message(kind="mGraph", sender=(0, 0), payload=4, level=1),
+        size_units=1.0,
+        hops=3,
+        uid=(42, 7),
+    )
+    frame = wire.encode_envelope(envelope)
+    encode, decode = wire.encode_envelope, wire.decode_envelope
+    t0 = time.perf_counter()
+    for _ in range(ops):
+        decoded = decode(encode(envelope))
+    wall = time.perf_counter() - t0
+    assert decoded == envelope, "wire round trip diverged inside the benchmark"
+    return {
+        "wall_s": wall,
+        "roundtrips": ops,
+        "frame_bytes": len(frame),
+        "roundtrips_per_s": ops / wall,
+    }
+
+
+#: Pinned seed of the micro suite (the historical trajectory seed).
+MICRO_SEED = 11
+
+
+def micro_variants(scale: float = 1.0) -> Dict[str, Any]:
+    """The micro suite as named thunks of ``seed``, scale-resolved.
+
+    This is the single source of truth for what one "full micro run"
+    contains; :func:`run_micro` executes it serially, and the
+    ``bench_micro`` sweep workload executes one named variant per run so
+    ``--workers N`` can shard the suite across processes.
+    """
+    rounds = max(4, int(40 * scale))
+    lj_rounds = max(4, int(20 * scale))
+    timer_ops = max(20_000, int(100_000 * scale))
+    pp_count = max(2000, int(20000 * scale))
+    pump_events = max(20000, int(200000 * scale))
+    codec_ops = max(5_000, int(50_000 * scale))
+    return {
+        "medium_broadcast_storm": lambda seed: medium_broadcast_storm(
+            rounds=rounds, seed=seed, net=make_deployment(seed=seed)
+        ),
+        "medium_broadcast_storm_legacy_fanout": lambda seed: medium_broadcast_storm(
+            rounds=rounds, seed=seed, net=make_deployment(seed=seed), batch_fanout=False
+        ),
+        "lossy_jittered_storm": lambda seed: lossy_jittered_storm(
+            rounds=lj_rounds, seed=seed, net=make_deployment(seed=seed)
+        ),
+        "lossy_jittered_storm_legacy_fanout": lambda seed: lossy_jittered_storm(
+            rounds=lj_rounds, seed=seed, net=make_deployment(seed=seed),
+            batch_fanout=False,
+        ),
+        "timer_storm": lambda seed: timer_storm(
+            ops=timer_ops, seed=seed, net=make_deployment(seed=seed)
+        ),
+        "timer_storm_legacy_handles": lambda seed: timer_storm(
+            ops=timer_ops, seed=seed, net=make_deployment(seed=seed),
+            legacy_handles=True,
+        ),
+        "unicast_pingpong": lambda seed: unicast_pingpong(
+            count=pp_count, seed=seed, net=make_deployment(seed=seed)
+        ),
+        "engine_event_pump": lambda seed: engine_event_pump(events=pump_events),
+        "wire_codec": lambda seed: wire_codec_roundtrip(ops=codec_ops, seed=seed),
+    }
+
+
+def micro_fingerprint(variant: str, row: Dict[str, Any]) -> str:
+    """Digest of a micro row's deterministic counters (wall times and
+    rates excluded): what serial-vs-sharded dispatch must agree on."""
+    from .simulator.trace import stable_digest
+
+    deterministic = tuple(
+        sorted(
+            (k, v) for k, v in row.items()
+            if not k.endswith("_s") and not k.endswith("_per_s")
+        )
+    )
+    return stable_digest((variant, deterministic))
+
+
 def e1_deployed_scaling(
     sides: Sequence[int] = (4, 8), seed: int = 11, workers: int = 1
 ) -> List[Dict[str, Any]]:
@@ -439,34 +531,45 @@ def check_determinism(rounds: int = 5) -> Dict[str, Any]:
 # ---------------------------------------------------------------------------
 
 
-def run_micro(smoke: bool = False) -> Dict[str, Any]:
-    scale = 0.2 if smoke else 1.0
-    rounds = max(4, int(40 * scale))
-    lj_rounds = max(4, int(20 * scale))
+def _row_from_metrics(metrics: Dict[str, float]) -> Dict[str, Any]:
+    """Undo the float-cast the sweep metrics layer applies to counters."""
     return {
-        "medium_broadcast_storm": medium_broadcast_storm(
-            rounds=rounds, net=make_deployment()
-        ),
-        "medium_broadcast_storm_legacy_fanout": medium_broadcast_storm(
-            rounds=rounds, net=make_deployment(), batch_fanout=False
-        ),
-        "lossy_jittered_storm": lossy_jittered_storm(
-            rounds=lj_rounds, net=make_deployment()
-        ),
-        "lossy_jittered_storm_legacy_fanout": lossy_jittered_storm(
-            rounds=lj_rounds, net=make_deployment(), batch_fanout=False
-        ),
-        "timer_storm": timer_storm(
-            ops=max(20_000, int(100_000 * scale)), net=make_deployment()
-        ),
-        "timer_storm_legacy_handles": timer_storm(
-            ops=max(20_000, int(100_000 * scale)),
-            net=make_deployment(),
-            legacy_handles=True,
-        ),
-        "unicast_pingpong": unicast_pingpong(count=max(2000, int(20000 * scale))),
-        "engine_event_pump": engine_event_pump(events=max(20000, int(200000 * scale))),
+        k: int(v)
+        if isinstance(v, float) and v.is_integer()
+        and not k.endswith("_s") and not k.endswith("_per_s")
+        else v
+        for k, v in metrics.items()
     }
+
+
+def run_micro(smoke: bool = False, workers: int = 1) -> Dict[str, Any]:
+    """The micro suite; ``workers >= 2`` shards it through ``repro.sweep``.
+
+    Both paths execute the exact same :func:`micro_variants` thunks with
+    the pinned :data:`MICRO_SEED`, so the deterministic counters (and
+    hence :func:`micro_fingerprint`) are identical — only wall times
+    differ.  Sharded rows come back through the scheduler's metrics
+    layer, with integral counters restored to ints.
+    """
+    scale = 0.2 if smoke else 1.0
+    variants = micro_variants(scale)
+    if workers <= 1:
+        return {name: thunk(MICRO_SEED) for name, thunk in variants.items()}
+    spec = SweepSpec(
+        name="bench-micro",
+        workload="bench_micro",
+        grid={"variant": list(variants)},
+        fixed={"seed": MICRO_SEED, "scale": scale},
+    )
+    records = run_sweep(spec, out_path=None, workers=workers, progress=None)
+    failures = [r for r in records if r["status"] != "ok"]
+    if failures:
+        raise RuntimeError(
+            "micro sweep runs failed: "
+            + "; ".join(f"{r['run_id']}: {r['error']}" for r in failures)
+        )
+    by_variant = {r["params"]["variant"]: r["metrics"] for r in records}
+    return {name: _row_from_metrics(by_variant[name]) for name in variants}
 
 
 def run_e1(smoke: bool = False, workers: int = 1) -> Dict[str, Any]:
@@ -566,6 +669,7 @@ def _gate(
     for workload, key in (
         ("medium_broadcast_storm", "deliveries_per_s"),
         ("engine_event_pump", "events_per_s"),
+        ("wire_codec", "roundtrips_per_s"),
     ):
         best = _best_recorded(prior_runs, workload, key)
         if best:
@@ -602,8 +706,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     )
     parser.add_argument(
         "--workers", type=int, default=1, metavar="N",
-        help="dispatch the E1 scaling suite through the repro.sweep shard "
-        "scheduler on N worker processes (default 1 = serial in-process)",
+        help="dispatch the micro suite and the E1 scaling suite through "
+        "the repro.sweep shard scheduler on N worker processes "
+        "(default 1 = serial in-process)",
     )
     args = parser.parse_args(argv)
 
@@ -612,7 +717,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
           f"(batched {determinism['events_batched']} events vs "
           f"legacy {determinism['events_legacy']})")
 
-    micro = run_micro(smoke=args.check)
+    micro = run_micro(smoke=args.check, workers=args.workers)
     e1 = run_e1(smoke=args.check, workers=args.workers)
     for name, row in micro.items():
         rate = {k: v for k, v in row.items() if k.endswith("_per_s")}

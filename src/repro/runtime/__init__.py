@@ -36,6 +36,17 @@ from .topology_emulation import (
     max_intra_cell_path_length,
     oracle_reachable_directions,
 )
+from .wire import (
+    WIRE_VERSION,
+    WireDecodeError,
+    WireEncodeError,
+    WireError,
+    decode_ack,
+    decode_envelope,
+    encode_ack,
+    encode_envelope,
+    register_payload_codec,
+)
 
 __all__ = [
     "Binding",
@@ -53,11 +64,19 @@ __all__ = [
     "TopologyEmulationProcess",
     "TransportEnvelope",
     "TransportProcess",
+    "WIRE_VERSION",
+    "WireDecodeError",
+    "WireEncodeError",
+    "WireError",
     "bind_processes",
     "build_leader_mesh",
+    "decode_ack",
+    "decode_envelope",
     "deploy",
     "distance_to_center_metric",
     "emulate_topology",
+    "encode_ack",
+    "encode_envelope",
     "kill_leaders",
     "kill_random_nodes",
     "max_intra_cell_path_length",
@@ -65,6 +84,7 @@ __all__ = [
     "oracle_binding",
     "oracle_reachable_directions",
     "recover",
+    "register_payload_codec",
     "residual_energy_metric",
     "rotate_leaders",
     "run_deployed_query",

@@ -57,8 +57,9 @@ class _QueryProcess(TransportProcess):
         collected: List[Any],
         counters: Dict[str, int],
         reliable: bool = False,
+        wire_format: bool = False,
     ):
-        super().__init__(topology, binding, reliable=reliable)
+        super().__init__(topology, binding, reliable=reliable, wire_format=wire_format)
         self.stored = stored
         self.is_querier = is_querier
         self.expected_responses = expected_responses
@@ -101,6 +102,7 @@ def run_deployed_query(
     loss_rate: float = 0.0,
     rng: "np.random.Generator | int | None" = None,
     reliable: bool = False,
+    wire_format: bool = False,
 ) -> DeployedQueryResult:
     """Execute one query round on the deployed stack.
 
@@ -146,6 +148,7 @@ def run_deployed_query(
             collected=collected,
             counters=counters,
             reliable=reliable,
+            wire_format=wire_format,
         )
         host.add(nid, proc)
         if proc.is_querier:

@@ -98,6 +98,15 @@ class TransportProcess(Process):
         Origins emit sequence numbers monotonically, so a *new* uid can
         only be mistaken for old if it is displaced by more than the
         window — far beyond any ARQ reordering the simulator produces.
+    wire_format:
+        Encode every hop through the compact binary codec of
+        :mod:`repro.runtime.wire`: envelopes (and, in reliable mode,
+        acknowledgements) travel the medium as ``bytes`` frames and the
+        receive path decodes them back.  Observable behaviour — stats,
+        energy, delivery order, fingerprints — is identical to object
+        passing; this mode exists so every simulated hop exercises the
+        codec the cross-process backends will need, under the full
+        loss/jitter/retransmit/dedup machinery.
     """
 
     def __init__(
@@ -111,6 +120,7 @@ class TransportProcess(Process):
         ack_timeout: float = 4.0,
         ack_size_units: float = 1.0,
         dedup_window: int = 128,
+        wire_format: bool = False,
     ):
         super().__init__()
         if dedup_window < 1:
@@ -124,6 +134,11 @@ class TransportProcess(Process):
         self.ack_timeout = ack_timeout
         self.ack_size_units = ack_size_units
         self.dedup_window = dedup_window
+        self.wire_format = wire_format
+        if wire_format:
+            from . import wire  # deferred: wire imports TransportEnvelope
+
+            self._wire = wire
         self.drops = 0
         self.forwarded = 0
         self.retransmissions = 0
@@ -189,15 +204,25 @@ class TransportProcess(Process):
 
     def on_packet(self, packet: Packet) -> None:
         if packet.kind == ACK_KIND:
-            self._on_ack(packet.payload)
+            uid = packet.payload
+            if self.wire_format and isinstance(uid, (bytes, bytearray, memoryview)):
+                uid = self._wire.decode_ack(uid)
+            self._on_ack(uid)
             return
         if packet.kind != TRANSPORT_KIND:
             return
         envelope: TransportEnvelope = packet.payload
+        if self.wire_format and isinstance(envelope, (bytes, bytearray, memoryview)):
+            envelope = self._wire.decode_envelope(envelope)
         if self.reliable and envelope.uid is not None:
             # acknowledge receipt to the previous hop (even duplicates:
             # the original ack may have been the lost packet)
-            self.unicast(packet.src, ACK_KIND, envelope.uid, self.ack_size_units)
+            ack = (
+                self._wire.encode_ack(envelope.uid)
+                if self.wire_format
+                else envelope.uid
+            )
+            self.unicast(packet.src, ACK_KIND, ack, self.ack_size_units)
             origin, seq = envelope.uid
             if self._uid_seen(origin, seq):
                 self.duplicates_suppressed += 1
@@ -226,7 +251,7 @@ class TransportProcess(Process):
         # have incremented ``hops`` on the shared object since the first
         # attempt, and re-sending it would carry the inflated count
         clone = replace(envelope, hops=hops_at_send)
-        self.unicast(nxt, TRANSPORT_KIND, clone, clone.size_units)
+        self._tx_envelope(nxt, clone)
         self.set_timer(self.ack_timeout, tag)
 
     def _route(self, envelope: TransportEnvelope) -> None:
@@ -248,13 +273,20 @@ class TransportProcess(Process):
             return
         self._forward(envelope, nxt)
 
+    def _tx_envelope(self, nxt: int, envelope: TransportEnvelope) -> None:
+        """One physical transmission of ``envelope`` (encoding if wired)."""
+        payload: Any = (
+            self._wire.encode_envelope(envelope) if self.wire_format else envelope
+        )
+        self.unicast(nxt, TRANSPORT_KIND, payload, envelope.size_units)
+
     def _forward(self, envelope: TransportEnvelope, nxt: int) -> None:
         if not self.medium.network.node(nxt).alive:
             self._drop(envelope, f"next hop {nxt} dead")
             return
         envelope.hops += 1
         self.forwarded += 1
-        self.unicast(nxt, TRANSPORT_KIND, envelope, envelope.size_units)
+        self._tx_envelope(nxt, envelope)
         if self.reliable and envelope.uid is not None:
             # snapshot hops as transmitted: retransmissions resend this value
             self._pending[envelope.uid] = (envelope, nxt, 0, envelope.hops)

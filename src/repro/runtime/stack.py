@@ -93,6 +93,7 @@ class _AppProcess(TransportProcess):
         reliable: bool = False,
         max_retries: int = 3,
         ack_timeout: float = 4.0,
+        wire_format: bool = False,
     ):
         super().__init__(
             topology,
@@ -102,6 +103,7 @@ class _AppProcess(TransportProcess):
             reliable=reliable,
             max_retries=max_retries,
             ack_timeout=ack_timeout,
+            wire_format=wire_format,
         )
         self.program = program
         self.result_sink = result_sink
@@ -169,6 +171,7 @@ class DeployedStack:
         reliable: bool = False,
         max_retries: int = 3,
         ack_timeout: float = 4.0,
+        wire_format: bool = False,
     ) -> DeployedRunResult:
         """Execute one round of the synthesized application.
 
@@ -177,7 +180,9 @@ class DeployedStack:
         program of its virtual coordinate; all nodes forward.  With
         ``reliable`` the transport uses hop-by-hop acknowledgements and
         retransmission, making rounds robust to ``loss_rate`` at the cost
-        of ack traffic.
+        of ack traffic.  ``wire_format`` routes every hop through the
+        compact binary codec of :mod:`repro.runtime.wire` — observable
+        results are identical; the codec just gets exercised end to end.
         """
         side = self.network.cells.cells_per_side
         grid = spec.groups.grid
@@ -213,6 +218,7 @@ class DeployedStack:
                     reliable=reliable,
                     max_retries=max_retries,
                     ack_timeout=ack_timeout,
+                    wire_format=wire_format,
                 ),
             )
         host.start()

@@ -94,18 +94,26 @@ def _make_deployment(
 
 @workload("e1")
 def e1_scaling(params: Dict[str, Any], seed: int) -> WorkloadOutcome:
-    """One deployed quad-tree counting round at ``side`` (the E1 kernel)."""
+    """One deployed quad-tree counting round at ``side`` (the E1 kernel).
+
+    ``wire=True`` runs the identical round with every transport hop
+    encoded through the :mod:`repro.runtime.wire` codec; the fingerprint
+    is codec-independent by design, which is what the differential
+    conformance tests pin.
+    """
     side = int(params.get("side", 8))
     n_random = int(params.get("n_random", side * side * 7))
     loss = float(params.get("loss", 0.0))
     reliable = bool(params.get("reliable", loss > 0.0))
+    wire = bool(params.get("wire", False))
     net = _make_deployment(side, n_random, seed)
     stack = deploy(net)
     va = VirtualArchitecture(side)
     spec = va.synthesize(CountAggregation(lambda c: True))
     t0 = time.perf_counter()
     result = stack.run_application(
-        spec, loss_rate=loss, rng=np.random.default_rng(seed), reliable=reliable
+        spec, loss_rate=loss, rng=np.random.default_rng(seed),
+        reliable=reliable, wire_format=wire,
     )
     wall = time.perf_counter() - t0
     if result.root_payload != side * side:
@@ -226,6 +234,7 @@ def leader_churn(params: Dict[str, Any], seed: int) -> WorkloadOutcome:
     churn = float(params.get("churn", 0.25))
     node_churn = float(params.get("node_churn", 0.0))
     rotate = bool(params.get("rotate", False))
+    wire = bool(params.get("wire", False))
     if not 0.0 <= churn <= 1.0:
         raise ValueError(f"churn must be in [0, 1], got {churn}")
     net = _make_deployment(side, n_random, seed)
@@ -270,12 +279,71 @@ def leader_churn(params: Dict[str, Any], seed: int) -> WorkloadOutcome:
             metrics["rotated_cells"] = float(moved)
             fp_parts.append(tuple(sorted((str(c), n) for c, n in live.binding.leaders.items())))
         va = VirtualArchitecture(side)
-        run = live.run_application(va.synthesize(CountAggregation(lambda c: True)))
+        run = live.run_application(
+            va.synthesize(CountAggregation(lambda c: True)), wire_format=wire
+        )
         metrics["app_count"] = float(run.root_payload)
         metrics["app_latency"] = run.latency
         metrics["events_processed"] = float(run.events_processed)
         fp_parts.extend([run.ledger.fingerprint(), run.transmissions, run.latency])
     return WorkloadOutcome(metrics=metrics, fingerprint=stable_digest(tuple(fp_parts)))
+
+
+@workload("timer_storm")
+def timer_storm_churn(params: Dict[str, Any], seed: int) -> WorkloadOutcome:
+    """The ``repro.bench`` timer-churn workload behind the shard scheduler."""
+    from .. import bench
+
+    ops = int(params.get("ops", 100_000))
+    legacy = bool(params.get("legacy_handles", False))
+    row = bench.timer_storm(ops=ops, seed=seed, legacy_handles=legacy)
+    return WorkloadOutcome(
+        metrics={k: float(v) for k, v in row.items()},
+        fingerprint=stable_digest(
+            (row["timer_ops"], row["events_processed"], row["transmissions"])
+        ),
+    )
+
+
+@workload("pingpong")
+def unicast_pingpong(params: Dict[str, Any], seed: int) -> WorkloadOutcome:
+    """The ``repro.bench`` neighbour ping-pong behind the shard scheduler."""
+    from .. import bench
+
+    count = int(params.get("count", 20_000))
+    row = bench.unicast_pingpong(count=count, seed=seed)
+    return WorkloadOutcome(
+        metrics={k: float(v) for k, v in row.items()},
+        fingerprint=stable_digest(
+            (row["transmissions"], row["deliveries"], row["events_processed"])
+        ),
+    )
+
+
+@workload("bench_micro")
+def bench_micro(params: Dict[str, Any], seed: int) -> WorkloadOutcome:
+    """One variant of the full ``repro.bench`` micro suite.
+
+    ``python -m repro.bench --workers N`` expands the whole suite as a
+    grid over ``variant`` and shards it through the scheduler — the
+    ROADMAP item of parallelizing full bench runs.  Fingerprints cover
+    only the deterministic counters (never wall times), so serial and
+    sharded dispatch of the same variant must fingerprint-match.
+    """
+    from .. import bench
+
+    variant = str(params.get("variant", ""))
+    scale = float(params.get("scale", 1.0))
+    variants = bench.micro_variants(scale)
+    if variant not in variants:
+        raise KeyError(
+            f"unknown bench_micro variant {variant!r} (known: {sorted(variants)})"
+        )
+    row = variants[variant](seed)
+    return WorkloadOutcome(
+        metrics={k: float(v) for k, v in row.items()},
+        fingerprint=bench.micro_fingerprint(variant, row),
+    )
 
 
 @workload("_sleep")

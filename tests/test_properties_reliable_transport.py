@@ -43,7 +43,9 @@ def shared_stack():
     return net, deploy(net)
 
 
-def run_reliable_round(loss_rate: float, seed: int, n_envelopes: int):
+def run_reliable_round(
+    loss_rate: float, seed: int, n_envelopes: int, wire_format: bool = False
+):
     net, stack = shared_stack()
     sim = Simulator()
     medium = WirelessMedium(
@@ -62,6 +64,7 @@ def run_reliable_round(loss_rate: float, seed: int, n_envelopes: int):
                 on_drop=lambda p, env, reason: dropped.append(env.uid),
                 reliable=True,
                 max_retries=10,
+                wire_format=wire_format,
             ),
         )
     host.start()
@@ -78,16 +81,24 @@ def run_reliable_round(loss_rate: float, seed: int, n_envelopes: int):
     return delivered, dropped, host
 
 
+@pytest.mark.parametrize(
+    "wire_format", [False, True], ids=["plain", "wire-codec"]
+)
 @given(
     loss_rate=st.floats(min_value=0.0, max_value=0.35),
     seed=st.integers(min_value=0, max_value=2**31 - 1),
 )
 @settings(max_examples=12, deadline=None)
-def test_at_most_once_delivery_and_no_lost_new_uids(loss_rate, seed):
-    delivered, dropped, host = run_reliable_round(loss_rate, seed, n_envelopes=12)
+def test_at_most_once_delivery_and_no_lost_new_uids(wire_format, loss_rate, seed):
+    """ARQ retransmission never delivers a uid twice, with the wire codec
+    on as well as off — encode/decode must not perturb dedup state."""
+    delivered, dropped, host = run_reliable_round(
+        loss_rate, seed, n_envelopes=12, wire_format=wire_format
+    )
     # at-most-once: no uid reaches on_deliver twice
     assert len(delivered) == len(set(delivered)), (
-        f"duplicate delivery under loss={loss_rate} seed={seed}"
+        f"duplicate delivery under loss={loss_rate} seed={seed} "
+        f"wire_format={wire_format}"
     )
     # accounting: every originated envelope is delivered or explicitly
     # dropped somewhere — a *new* uid swallowed by duplicate suppression
@@ -95,7 +106,7 @@ def test_at_most_once_delivery_and_no_lost_new_uids(loss_rate, seed):
     accounted = set(delivered) | set(dropped)
     assert len(accounted) == 12, (
         f"envelopes vanished: {12 - len(accounted)} unaccounted "
-        f"(loss={loss_rate} seed={seed})"
+        f"(loss={loss_rate} seed={seed} wire_format={wire_format})"
     )
 
 

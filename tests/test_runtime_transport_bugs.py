@@ -71,6 +71,71 @@ class TestDedupWindow:
             make_transport(reliable=True, dedup_window=0)
 
 
+class TestDedupWindowBoundary:
+    """Pin the exact window edge and the long-run memory contract."""
+
+    def test_seq_exactly_at_high_minus_window_assumed_seen(self):
+        window = 32
+        tp = make_transport(reliable=True, dedup_window=window)
+        high = 1_000
+        tp._uid_mark(9, high)
+        # the closed boundary: high - window is the *first* assumed-seen seq
+        assert tp._uid_seen(9, high - window)
+        assert not tp._uid_seen(9, high - window + 1)
+        # marking the first in-window seq flips only that seq
+        tp._uid_mark(9, high - window + 1)
+        assert tp._uid_seen(9, high - window + 1)
+        assert not tp._uid_seen(9, high - window + 2)
+
+    def test_boundary_shifts_as_high_water_advances(self):
+        tp = make_transport(reliable=True, dedup_window=4)
+        tp._uid_mark(2, 10)
+        assert not tp._uid_seen(2, 7)
+        tp._uid_mark(2, 11)  # floor moves from 6 to 7
+        assert tp._uid_seen(2, 7)
+        assert not tp._uid_seen(2, 8)
+
+    def test_evicted_seq_stays_suppressed_via_floor(self):
+        """A seq marked inside the window must remain suppressed after
+        eviction — the floor rule has to take over from the recent set."""
+        window = 8
+        tp = make_transport(reliable=True, dedup_window=window)
+        tp._uid_mark(5, 0)
+        assert tp._uid_seen(5, 0)
+        tp._uid_mark(5, window + 1)  # evicts 0 from the recent set
+        assert 0 not in tp._seen_recent[5]
+        assert tp._uid_seen(5, 0)
+
+    def test_long_churn_run_keeps_per_origin_state_bounded(self):
+        """Mirror the on_packet flow (mark only unseen seqs) over a long
+        out-of-order stream with duplicates: acceptance is exactly-once
+        per seq and the recent set never outgrows the window."""
+        import numpy as np
+
+        window = 64
+        tp = make_transport(reliable=True, dedup_window=window)
+        rng = np.random.default_rng(17)
+        for origin in (1, 2):
+            # every seq twice, displaced by < window/2 positions: a
+            # realistic retransmit-plus-jitter arrival order
+            stream = [s for s in range(5_000) for _ in (0, 1)]
+            keys = np.array(stream) + rng.uniform(0, window // 2, len(stream))
+            accepted = set()
+            for idx in np.argsort(keys, kind="stable"):
+                seq = stream[int(idx)]
+                if not tp._uid_seen(origin, seq):
+                    tp._uid_mark(origin, seq)
+                    accepted.add(seq)
+                assert len(tp._seen_recent[origin]) <= window + 1, (
+                    f"recent set exceeded the dedup window at seq {seq}"
+                )
+            # reordering stays inside the window, so acceptance is
+            # *exactly* once per seq — no duplicates, no false positives
+            assert accepted == set(range(5_000))
+        assert set(tp._seen_high) == {1, 2}
+        assert tp._seen_high[1] == tp._seen_high[2] == 4_999
+
+
 class AckDroppingMedium(WirelessMedium):
     """Drops the first ``n_drops`` acknowledgement unicasts outright,
     forcing upstream retransmission of envelopes that *were* delivered."""

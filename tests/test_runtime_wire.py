@@ -1,0 +1,591 @@
+"""Conformance suite for the transport wire format (`repro.runtime.wire`).
+
+Three layers, in increasing integration depth:
+
+1. **Golden vectors** — byte-for-byte frames checked into
+   ``tests/data/wire_vectors.json``.  Any encoding change trips these;
+   the fix is a *conscious* ``WIRE_VERSION`` bump plus a vector
+   regeneration (``python tests/test_runtime_wire.py --regen``), never a
+   silent drift.
+2. **Properties** (hypothesis) — encode∘decode is the identity for
+   arbitrary cells/uids/payloads, and truncated or corrupted buffers
+   raise :class:`WireDecodeError` rather than mis-decoding.
+3. **Differential** — seeded end-to-end deployed runs (counting app,
+   regions aggregation, churn workload, query round) produce identical
+   fingerprints and transport stats with ``wire_format`` on and off, in
+   process and across sweep shards.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import os
+import sys
+
+import numpy as np
+import pytest
+
+try:
+    from hypothesis import given, settings, strategies as st
+    HAVE_HYPOTHESIS = True
+except ImportError:  # pragma: no cover - baked into the test image
+    HAVE_HYPOTHESIS = False
+
+from repro.core import CountAggregation, VirtualArchitecture
+from repro.core.program import Message
+from repro.runtime import deploy, run_deployed_query, wire
+from repro.runtime.routing import TransportEnvelope
+
+from conftest import make_deployment
+
+VECTORS_PATH = os.path.join(os.path.dirname(__file__), "data", "wire_vectors.json")
+
+BUMP_HINT = (
+    "the wire encoding changed: if intentional, bump WIRE_VERSION in "
+    "src/repro/runtime/wire.py and regenerate the golden vectors with "
+    "`python tests/test_runtime_wire.py --regen`"
+)
+
+
+# ---------------------------------------------------------------------------
+# golden vectors
+# ---------------------------------------------------------------------------
+
+#: The canonical conformance cases.  Only payloads with order-stable,
+#: version-independent encodings belong here (no pickle fallback).
+def vector_cases():
+    return [
+        (
+            "minimal-no-uid",
+            TransportEnvelope(src_cell=(0, 0), dst_cell=(0, 0), inner=None),
+        ),
+        (
+            "scalar-with-uid",
+            TransportEnvelope(
+                src_cell=(1, 2), dst_cell=(3, 0), inner=7,
+                size_units=1.0, hops=2, uid=(7, 42),
+            ),
+        ),
+        (
+            "query-request-tuple",
+            TransportEnvelope(
+                src_cell=(5, 5), dst_cell=(0, 7), inner=("qreq", (5, 5)),
+                size_units=1.0, hops=0, uid=(12, 0),
+            ),
+        ),
+        (
+            "unicode-string",
+            TransportEnvelope(
+                src_cell=(0, 1), dst_cell=(1, 0), inner="héllo ✓ wire",
+                size_units=2.5,
+            ),
+        ),
+        (
+            "big-int-and-negative",
+            TransportEnvelope(
+                src_cell=(0, 0), dst_cell=(15, 15),
+                inner=[2**80, -3, 0, -(2**70)],
+            ),
+        ),
+        (
+            "nested-structures",
+            TransportEnvelope(
+                src_cell=(8, 8), dst_cell=(9, 9),
+                inner={"areas": [1, 2, 3], "meta": (True, False, None),
+                       "tags": {"a", "b"}, "raw": b"\x00\xff"},
+                size_units=4.0, hops=11, uid=(3, 2**40),
+            ),
+        ),
+        (
+            "extreme-header-fields",
+            TransportEnvelope(
+                src_cell=(65535, 0), dst_cell=(0, 65535), inner=0.125,
+                size_units=1e-9, hops=65535, uid=(2**32 - 1, 2**64 - 1),
+            ),
+        ),
+        (
+            "message-mgraph",
+            TransportEnvelope(
+                src_cell=(2, 2), dst_cell=(0, 0),
+                inner=Message(
+                    kind="mGraph", sender=(2, 2), payload=4,
+                    level=1, size_units=1.0,
+                ),
+                size_units=1.0, hops=3, uid=(17, 5),
+            ),
+        ),
+        (
+            "message-nested-payload",
+            TransportEnvelope(
+                src_cell=(0, 3), dst_cell=(3, 3),
+                inner=Message(
+                    kind="summary", sender=(0, 3),
+                    payload={"count": 12, "areas": (4.5, 7.0)},
+                    level=2, size_units=3.25,
+                ),
+            ),
+        ),
+        ("ack-small", (5, 9)),
+        ("ack-extreme", (2**32 - 1, 2**64 - 1)),
+    ]
+
+
+def _encode_case(obj):
+    if isinstance(obj, TransportEnvelope):
+        return wire.encode_envelope(obj)
+    return wire.encode_ack(obj)
+
+
+def _case_to_json(name, obj):
+    if isinstance(obj, TransportEnvelope):
+        doc = {
+            "name": name,
+            "kind": "envelope",
+            "src_cell": list(obj.src_cell),
+            "dst_cell": list(obj.dst_cell),
+            "hops": obj.hops,
+            "size_units": obj.size_units,
+            "uid": list(obj.uid) if obj.uid else None,
+        }
+        if isinstance(obj.inner, Message):
+            doc["message"] = {
+                "kind": obj.inner.kind,
+                "sender": list(obj.inner.sender),
+                "payload": repr(obj.inner.payload),
+                "level": obj.inner.level,
+                "size_units": obj.inner.size_units,
+            }
+        else:
+            doc["inner"] = repr(obj.inner)
+    else:
+        doc = {"name": name, "kind": "ack", "uid": list(obj)}
+    doc["hex"] = _encode_case(obj).hex()
+    return doc
+
+
+def _case_from_json(doc):
+    if doc["kind"] == "ack":
+        return tuple(doc["uid"])
+    if "message" in doc:
+        m = doc["message"]
+        inner = Message(
+            kind=m["kind"],
+            sender=tuple(m["sender"]),
+            payload=ast.literal_eval(m["payload"]),
+            level=m["level"],
+            size_units=m["size_units"],
+        )
+    else:
+        inner = ast.literal_eval(doc["inner"])
+    return TransportEnvelope(
+        src_cell=tuple(doc["src_cell"]),
+        dst_cell=tuple(doc["dst_cell"]),
+        inner=inner,
+        size_units=doc["size_units"],
+        hops=doc["hops"],
+        uid=tuple(doc["uid"]) if doc["uid"] else None,
+    )
+
+
+def regenerate_vectors() -> None:
+    doc = {
+        "wire_version": wire.WIRE_VERSION,
+        "comment": "Golden conformance vectors; regenerate only alongside "
+        "a conscious WIRE_VERSION bump "
+        "(python tests/test_runtime_wire.py --regen).",
+        "vectors": [_case_to_json(name, obj) for name, obj in vector_cases()],
+    }
+    with open(VECTORS_PATH, "w") as fh:
+        json.dump(doc, fh, indent=2)
+        fh.write("\n")
+
+
+def load_vectors():
+    # Tolerate a missing file at import time so `--regen` can bootstrap;
+    # the coverage tests below fail loudly if the vectors are absent.
+    if not os.path.exists(VECTORS_PATH):
+        return {"wire_version": None, "vectors": []}
+    with open(VECTORS_PATH) as fh:
+        return json.load(fh)
+
+
+class TestGoldenVectors:
+    def test_vectors_match_wire_version(self):
+        assert load_vectors()["wire_version"] == wire.WIRE_VERSION, BUMP_HINT
+
+    def test_every_case_has_a_committed_vector(self):
+        committed = {v["name"] for v in load_vectors()["vectors"]}
+        expected = {name for name, _ in vector_cases()}
+        assert committed == expected, (
+            f"vector cases and committed vectors diverged "
+            f"(missing: {sorted(expected - committed)}, "
+            f"stale: {sorted(committed - expected)}); {BUMP_HINT}"
+        )
+
+    @pytest.mark.parametrize(
+        "doc", load_vectors()["vectors"], ids=lambda d: d["name"]
+    )
+    def test_encode_is_byte_stable(self, doc):
+        obj = _case_from_json(doc)
+        got = _encode_case(obj).hex()
+        assert got == doc["hex"], (
+            f"golden vector {doc['name']!r} no longer encodes to its "
+            f"committed bytes; {BUMP_HINT}"
+        )
+
+    @pytest.mark.parametrize(
+        "doc", load_vectors()["vectors"], ids=lambda d: d["name"]
+    )
+    def test_committed_bytes_decode_to_the_object(self, doc):
+        expected = _case_from_json(doc)
+        raw = bytes.fromhex(doc["hex"])
+        if doc["kind"] == "ack":
+            assert wire.decode_ack(raw) == expected, BUMP_HINT
+        else:
+            decoded = wire.decode_envelope(raw)
+            assert decoded == expected, BUMP_HINT
+            # round-trip through re-encode pins types, not just equality
+            assert wire.encode_envelope(decoded).hex() == doc["hex"], BUMP_HINT
+
+
+# ---------------------------------------------------------------------------
+# decode hardening (deterministic)
+# ---------------------------------------------------------------------------
+
+
+class TestDecodeHardening:
+    def frame(self):
+        return wire.encode_envelope(
+            TransportEnvelope((1, 2), (3, 4), inner=("x", 9), uid=(5, 6))
+        )
+
+    def test_every_truncation_raises(self):
+        frame = self.frame()
+        for cut in range(len(frame)):
+            with pytest.raises(wire.WireDecodeError):
+                wire.decode_envelope(frame[:cut])
+
+    def test_every_single_byte_corruption_raises(self):
+        frame = self.frame()
+        for i in range(len(frame)):
+            corrupt = bytearray(frame)
+            corrupt[i] ^= 0x41
+            with pytest.raises(wire.WireDecodeError):
+                wire.decode_envelope(bytes(corrupt))
+
+    def test_trailing_garbage_raises(self):
+        with pytest.raises(wire.WireDecodeError):
+            wire.decode_envelope(self.frame() + b"\x00")
+
+    def test_unknown_version_raises_with_both_versions(self):
+        frame = bytearray(self.frame())
+        frame[2] = wire.WIRE_VERSION + 1
+        with pytest.raises(wire.WireDecodeError, match="version"):
+            wire.decode_envelope(bytes(frame))
+
+    def test_bad_magic_raises(self):
+        frame = bytearray(self.frame())
+        frame[0:2] = b"ZZ"
+        with pytest.raises(wire.WireDecodeError, match="magic"):
+            wire.decode_envelope(bytes(frame))
+
+    def test_ack_and_envelope_are_not_confusable(self):
+        ack = wire.encode_ack((1, 2))
+        env = self.frame()
+        with pytest.raises(wire.WireDecodeError):
+            wire.decode_envelope(ack)
+        with pytest.raises(wire.WireDecodeError):
+            wire.decode_ack(env)
+
+    def test_non_bytes_input_raises(self):
+        with pytest.raises(wire.WireDecodeError):
+            wire.decode_envelope("not bytes")  # type: ignore[arg-type]
+
+    def test_out_of_range_header_fields_raise_on_encode(self):
+        for bad in (
+            TransportEnvelope((-1, 0), (0, 0), inner=None),
+            TransportEnvelope((0, 0), (70000, 0), inner=None),
+            TransportEnvelope((0, 0), (0, 0), inner=None, hops=-1),
+            TransportEnvelope((0, 0), (0, 0), inner=None, uid=(-1, 0)),
+            TransportEnvelope((0, 0), (0, 0), inner=None, uid=(0, 2**64)),
+        ):
+            with pytest.raises(wire.WireEncodeError):
+                wire.encode_envelope(bad)
+
+
+# ---------------------------------------------------------------------------
+# payload registry + fallback
+# ---------------------------------------------------------------------------
+
+
+class _Unregistered:
+    """Picklable but unknown to the registry: exercises the fallback."""
+
+    def __init__(self, value):
+        self.value = value
+
+    def __eq__(self, other):
+        return type(other) is _Unregistered and other.value == self.value
+
+    def __hash__(self):
+        return hash(self.value)
+
+
+class TestPayloadRegistry:
+    def test_unregistered_type_falls_back_to_pickle(self):
+        env = TransportEnvelope((0, 0), (1, 1), inner=_Unregistered(13))
+        tag, _raw = wire.encode_payload(env.inner)
+        assert tag == wire.PAYLOAD_PICKLE
+        assert wire.decode_envelope(wire.encode_envelope(env)) == env
+
+    def test_message_with_unencodable_payload_falls_back_whole(self):
+        message = Message(kind="k", sender=(0, 0), payload=_Unregistered(4))
+        tag, _raw = wire.encode_payload(message)
+        assert tag == wire.PAYLOAD_PICKLE
+        env = TransportEnvelope((0, 0), (1, 1), inner=message)
+        assert wire.decode_envelope(wire.encode_envelope(env)) == env
+
+    def test_unpicklable_payload_raises_encode_error(self):
+        with pytest.raises(wire.WireEncodeError):
+            wire.encode_payload(lambda: None)
+
+    def test_registered_codec_wins_over_pickle(self):
+        tag = wire.USER_TAG_FIRST
+        wire.register_payload_codec(
+            tag,
+            _Unregistered,
+            lambda obj: wire.encode_value(obj.value),
+            lambda raw: _Unregistered(wire.decode_value(raw)),
+        )
+        try:
+            got_tag, raw = wire.encode_payload(_Unregistered(99))
+            assert got_tag == tag
+            assert wire.decode_payload(got_tag, raw) == _Unregistered(99)
+        finally:
+            wire.unregister_payload_codec(tag)
+
+    def test_tag_collisions_and_bad_tags_rejected(self):
+        tag = wire.USER_TAG_FIRST + 1
+        wire.register_payload_codec(tag, _Unregistered, repr, ast.literal_eval)
+        try:
+            with pytest.raises(ValueError, match="already registered"):
+                wire.register_payload_codec(tag, dict, repr, ast.literal_eval)
+            with pytest.raises(ValueError, match="already registered"):
+                wire.register_payload_codec(
+                    tag + 1, _Unregistered, repr, ast.literal_eval
+                )
+        finally:
+            wire.unregister_payload_codec(tag)
+        with pytest.raises(ValueError, match="user payload tags"):
+            wire.register_payload_codec(wire.PAYLOAD_VALUE, set, repr, ast.literal_eval)
+
+    def test_unknown_payload_tag_raises_on_decode(self):
+        with pytest.raises(wire.WireDecodeError, match="payload tag"):
+            wire.decode_payload(wire.USER_TAG_LAST, b"")
+
+
+# ---------------------------------------------------------------------------
+# properties (hypothesis)
+# ---------------------------------------------------------------------------
+
+if HAVE_HYPOTHESIS:
+    _scalars = (
+        st.none()
+        | st.booleans()
+        | st.integers()
+        | st.floats(allow_nan=False)
+        | st.text(max_size=24)
+        | st.binary(max_size=24)
+    )
+    _values = st.recursive(
+        _scalars,
+        lambda children: (
+            st.lists(children, max_size=4)
+            | st.lists(children, max_size=4).map(tuple)
+            | st.dictionaries(st.text(max_size=8), children, max_size=4)
+            | st.sets(st.integers(), max_size=4)
+            | st.frozensets(st.text(max_size=4), max_size=4)
+        ),
+        max_leaves=12,
+    )
+    _cells = st.tuples(st.integers(0, 65535), st.integers(0, 65535))
+    _envelopes = st.builds(
+        TransportEnvelope,
+        src_cell=_cells,
+        dst_cell=_cells,
+        inner=_values,
+        size_units=st.floats(allow_nan=False),
+        hops=st.integers(0, 65535),
+        uid=st.none() | st.tuples(st.integers(0, 2**32 - 1), st.integers(0, 2**64 - 1)),
+    )
+
+
+@pytest.mark.skipif(not HAVE_HYPOTHESIS, reason="hypothesis not installed")
+class TestRoundTripProperties:
+    @given(envelope=_envelopes if HAVE_HYPOTHESIS else st.nothing())
+    @settings(max_examples=120, deadline=None)
+    def test_encode_decode_is_identity(self, envelope):
+        frame = wire.encode_envelope(envelope)
+        decoded = wire.decode_envelope(frame)
+        assert decoded == envelope
+        # byte-identical re-encode pins types (1 vs True, () vs []):
+        # different tags would produce different bytes
+        assert wire.encode_envelope(decoded) == frame
+
+    @given(
+        envelope=_envelopes if HAVE_HYPOTHESIS else st.nothing(),
+        cut=st.integers(min_value=0, max_value=10_000),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_truncation_never_misdecodes(self, envelope, cut):
+        frame = wire.encode_envelope(envelope)
+        with pytest.raises(wire.WireDecodeError):
+            wire.decode_envelope(frame[: cut % len(frame)])
+
+    @given(
+        envelope=_envelopes if HAVE_HYPOTHESIS else st.nothing(),
+        index=st.integers(min_value=0, max_value=10_000),
+        flip=st.integers(min_value=1, max_value=255),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_single_byte_corruption_never_misdecodes(self, envelope, index, flip):
+        frame = bytearray(wire.encode_envelope(envelope))
+        frame[index % len(frame)] ^= flip
+        with pytest.raises(wire.WireDecodeError):
+            wire.decode_envelope(bytes(frame))
+
+    @given(
+        uid=st.tuples(st.integers(0, 2**32 - 1), st.integers(0, 2**64 - 1))
+        if HAVE_HYPOTHESIS
+        else st.nothing()
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_ack_round_trip(self, uid):
+        assert wire.decode_ack(wire.encode_ack(uid)) == uid
+
+
+# ---------------------------------------------------------------------------
+# differential: end-to-end runs with and without the codec
+# ---------------------------------------------------------------------------
+
+
+def _deployed_fingerprint(result, medium_free=False):
+    return (
+        result.ledger.fingerprint(),
+        result.transmissions,
+        result.drops,
+        result.delivered_envelopes,
+        result.latency,
+        result.events_processed,
+    )
+
+
+class TestDifferentialConformance:
+    @pytest.fixture(scope="class")
+    def stack4(self):
+        net = make_deployment(side=4, n_random=100, seed=5)
+        return net, deploy(net)
+
+    def _count_round(self, stack, wire_format, loss=0.15):
+        va = VirtualArchitecture(4)
+        spec = va.synthesize(CountAggregation(lambda c: True))
+        result = stack.run_application(
+            spec,
+            loss_rate=loss,
+            rng=np.random.default_rng(11),
+            reliable=True,
+            max_retries=6,
+            wire_format=wire_format,
+        )
+        return result
+
+    def test_counting_round_identical_with_codec(self, stack4):
+        _net, stack = stack4
+        plain = self._count_round(stack, wire_format=False)
+        wired = self._count_round(stack, wire_format=True)
+        assert wired.root_payload == plain.root_payload == 16
+        assert _deployed_fingerprint(wired) == _deployed_fingerprint(plain)
+
+    def test_regions_aggregation_identical_with_codec(self, stack4):
+        """RegionSummary payloads ride the documented pickle fallback; the
+        deployed regions round must still be codec-invariant."""
+        from repro.apps.regions import feature_matrix_aggregation
+
+        _net, stack = stack4
+        rng = np.random.default_rng(3)
+        matrix = rng.random((4, 4)) > 0.5
+        results = []
+        for wire_format in (False, True):
+            va = VirtualArchitecture(4)
+            spec = va.synthesize(feature_matrix_aggregation(matrix))
+            run = stack.run_application(
+                spec,
+                loss_rate=0.1,
+                rng=np.random.default_rng(7),
+                reliable=True,
+                max_retries=6,
+                wire_format=wire_format,
+            )
+            results.append((run.root_payload, _deployed_fingerprint(run)))
+        assert results[0] == results[1]
+
+    def test_query_round_identical_with_codec(self, stack4):
+        _net, stack = stack4
+        storage = {(0, 0): 3, (3, 3): 4, (0, 3): 5}
+        outcomes = []
+        for wire_format in (False, True):
+            res = run_deployed_query(
+                stack,
+                storage,
+                query_cell=(1, 1),
+                reduce_fn=sum,
+                loss_rate=0.1,
+                rng=np.random.default_rng(13),
+                reliable=True,
+                wire_format=wire_format,
+            )
+            outcomes.append(
+                (res.value, res.responses, res.latency, res.energy,
+                 res.transmissions, res.drops)
+            )
+        assert outcomes[0] == outcomes[1]
+        assert outcomes[0][0] == 12
+
+    def test_churn_workload_fingerprint_codec_invariant(self):
+        from repro.sweep.workloads import WORKLOADS
+
+        params = {"side": 4, "n_random": 100, "churn": 0.25, "rotate": True}
+        plain = WORKLOADS["churn"]({**params, "wire": False}, seed=21)
+        wired = WORKLOADS["churn"]({**params, "wire": True}, seed=21)
+        assert plain.fingerprint == wired.fingerprint
+        assert plain.metrics == wired.metrics
+
+    def test_cross_shard_audit_matches_codec_on_vs_off(self):
+        """One sweep, grid wire=[off, on], pinned seed, audit duplicates on
+        a different shard: all four fingerprints must be the same digest."""
+        from repro.sweep import SweepSpec, run_sweep
+
+        spec = SweepSpec(
+            name="wire-audit",
+            workload="e1",
+            grid={"wire": [False, True]},
+            fixed={"seed": 9, "side": 4, "n_random": 100},
+            audit_duplicates=2,
+        )
+        records = run_sweep(spec, out_path=None, workers=2, progress=None)
+        assert len(records) == 4
+        assert all(r["status"] == "ok" for r in records)
+        fingerprints = {r["fingerprint"] for r in records}
+        assert len(fingerprints) == 1, (
+            f"codec-on vs codec-off runs diverged across shards: {records}"
+        )
+        assert sum(r["audit"] for r in records) == 2
+
+
+if __name__ == "__main__":
+    if "--regen" in sys.argv:
+        regenerate_vectors()
+        print(f"wrote {VECTORS_PATH}")
+    else:
+        sys.exit(pytest.main([__file__, "-v"]))

@@ -1,0 +1,73 @@
+"""The bench workloads ported onto the sweep scheduler.
+
+``repro.bench``'s micro workloads (timer storm, unicast ping-pong, the
+wire-codec round-trip, ...) are runnable as sweep workloads so
+``--workers N`` parallelizes a full bench run.  These tests pin the
+contract that makes that safe: for every ported workload, a sharded run
+produces the same fingerprints as the in-process serial run, and
+``run_micro(workers=N)`` reproduces the serial rows' fingerprints.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import bench
+from repro.sweep import SweepSpec, run_sweep
+from repro.sweep.workloads import WORKLOADS
+
+#: name -> params kept tiny so each sharded test stays in the seconds range.
+PORTED = {
+    "storm": {"side": 4, "n_random": 70, "rounds": 2, "loss": 0.1},
+    "timer_storm": {"ops": 3_000},
+    "pingpong": {"count": 2_000},
+    "bench_micro": {"variant": "timer_storm", "scale": 0.05},
+}
+
+
+def fingerprints(records):
+    return {r["run_id"]: r["fingerprint"] for r in records}
+
+
+class TestPortedWorkloads:
+    @pytest.mark.parametrize("name", sorted(PORTED))
+    def test_serial_vs_sharded_fingerprints_match(self, name):
+        spec = SweepSpec(
+            name=f"bench-port-{name}",
+            workload=name,
+            grid={},
+            fixed=PORTED[name],
+            replicates=2,
+        )
+        serial = run_sweep(spec, workers=1)
+        assert all(r["status"] == "ok" for r in serial)
+        sharded = run_sweep(spec, workers=2, timeout_s=180, retries=1)
+        assert fingerprints(sharded) == fingerprints(serial)
+
+    def test_timer_storm_legacy_flag_changes_the_work_not_the_result(self):
+        fast = WORKLOADS["timer_storm"]({"ops": 2_000}, seed=3)
+        legacy = WORKLOADS["timer_storm"]({"ops": 2_000, "legacy_handles": True}, seed=3)
+        assert fast.metrics["timer_ops"] == legacy.metrics["timer_ops"]
+
+    def test_bench_micro_unknown_variant_is_a_loud_error(self):
+        with pytest.raises(KeyError, match="unknown bench_micro variant"):
+            WORKLOADS["bench_micro"]({"variant": "nope"}, seed=1)
+
+    def test_bench_micro_covers_every_variant(self):
+        """Every bench variant must be dispatchable through the sweep
+        scheduler — a new variant without sweep coverage fails here."""
+        for variant in bench.micro_variants(scale=1.0):
+            outcome = WORKLOADS["bench_micro"](
+                {"variant": variant, "scale": 0.02}, seed=bench.MICRO_SEED
+            )
+            assert outcome.fingerprint
+
+
+class TestRunMicroWorkers:
+    def test_parallel_run_micro_matches_serial_fingerprints(self):
+        serial = bench.run_micro(smoke=True)
+        parallel = bench.run_micro(smoke=True, workers=2)
+        for variant, row in serial.items():
+            assert bench.micro_fingerprint(variant, parallel[variant]) == (
+                bench.micro_fingerprint(variant, row)
+            ), f"variant {variant!r} diverged between serial and sharded bench"
