@@ -6,6 +6,11 @@ a smoke test that doubles as the thirty-second tour of the library.
 
 ``python -m repro sweep ...`` dispatches to the sharded experiment-sweep
 orchestrator (see :mod:`repro.sweep.cli` for flags).
+
+``python -m repro faults --self-check`` runs the fault-injection matrix
+(kill leaders / partition / corrupt frames, each under reliable on/off
+and wire on/off) asserting determinism and recovery — the CI
+``fault-matrix`` job.
 """
 
 from __future__ import annotations
@@ -29,6 +34,13 @@ def main(argv: list[str] | None = None) -> int:
         from .sweep.cli import main as sweep_main
 
         return sweep_main(args[1:])
+    if args and args[0] == "faults":
+        from .runtime.faults import self_check
+
+        if "--self-check" not in args[1:]:
+            print("usage: python -m repro faults --self-check", file=sys.stderr)
+            return 2
+        return 0 if self_check() else 1
     side = int(args[0]) if args else 16
     threshold = float(args[1]) if len(args) > 1 else 0.5
     # side <= 0 must not slip through: 0 & -1 == 0 passes the bit trick

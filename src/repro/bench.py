@@ -348,6 +348,55 @@ def wire_codec_roundtrip(ops: int = 50_000, seed: int = 11) -> Dict[str, Any]:
     }
 
 
+def fault_storm(
+    side: int = 4,
+    n_random: int = 150,
+    kills: int = 2,
+    corrupt_frames: int = 4,
+    seed: int = 11,
+) -> Dict[str, Any]:
+    """One self-healing round under a mid-run fault storm (DESIGN.md §10).
+
+    Kills ``kills`` cell leaders at t≈0.5 and corrupts the first
+    ``corrupt_frames`` transport frames of a reliable round, then asserts
+    the quad-tree query still completes with the correct count — the
+    acceptance scenario of the fault model, timed end to end.
+    """
+    from .runtime import plan_leader_storm
+
+    net = make_deployment(side=side, n_random=n_random, seed=seed)
+    stack = deploy(net)
+    va = VirtualArchitecture(side)
+    spec = va.synthesize(CountAggregation(lambda c: True))
+    plan = plan_leader_storm(
+        sorted(stack.binding.leaders), kills=kills, at=0.5, seed=seed,
+        corrupt_frames=corrupt_frames,
+    )
+    t0 = time.perf_counter()
+    result = stack.run_application(
+        spec, loss_rate=0.05, rng=np.random.default_rng(seed),
+        reliable=True, max_retries=8, fault_plan=plan,
+    )
+    wall = time.perf_counter() - t0
+    if result.root_payload != side * side:
+        raise RuntimeError(
+            f"fault_storm count mismatch: got {result.root_payload}, "
+            f"want {side * side}"
+        )
+    report = result.fault_report
+    assert report is not None
+    return {
+        "wall_s": wall,
+        "transmissions": result.transmissions,
+        "events_processed": result.events_processed,
+        "failovers": len(report.failovers),
+        "reroutes": report.reroutes,
+        "frames_corrupted": report.frames_corrupted,
+        "frames_rejected": report.frames_rejected,
+        "events_per_s": result.events_processed / wall,
+    }
+
+
 #: Pinned seed of the micro suite (the historical trajectory seed).
 MICRO_SEED = 11
 
@@ -392,6 +441,7 @@ def micro_variants(scale: float = 1.0) -> Dict[str, Any]:
         ),
         "engine_event_pump": lambda seed: engine_event_pump(events=pump_events),
         "wire_codec": lambda seed: wire_codec_roundtrip(ops=codec_ops, seed=seed),
+        "fault_storm": lambda seed: fault_storm(seed=seed),
     }
 
 

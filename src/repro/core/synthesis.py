@@ -197,6 +197,11 @@ def _build_node_program(spec: SynthesizedProgram, coord: GridCoord) -> NodeProgr
         "myCoords": coord,
         "mySubGraph": {},  # level -> accumulator
         "msgsReceived": {k: 0 for k in range(max_level + 1)},
+        # level -> coords already merged at that level: a leader failover
+        # can legitimately re-send a child's summary (the successor adopts
+        # the program state-fresh), and merging it twice would corrupt the
+        # aggregation — msgsReceived counts *distinct* child senders
+        "sendersMerged": {k: set() for k in range(max_level + 1)},
         "ownMerged": {k: False for k in range(max_level + 1)},
         "done": False,
         "exfiltrated": None,
@@ -229,6 +234,10 @@ def _build_node_program(spec: SynthesizedProgram, coord: GridCoord) -> NodeProgr
         msg = ctx.message
         assert msg is not None
         level = msg.level
+        senders = st["sendersMerged"][level]
+        if msg.sender in senders:
+            return  # duplicate child summary (post-failover re-send)
+        senders.add(msg.sender)
         accumulator = _ensure_accumulator(st, level)
         agg.merge(accumulator, msg.payload)
         st["msgsReceived"][level] += 1

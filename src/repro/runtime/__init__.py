@@ -18,6 +18,14 @@ from .binding import (
     residual_energy_metric,
 )
 from .clustered_mesh import LeaderMesh, MeshResult, build_leader_mesh
+from .faults import (
+    FaultEvent,
+    FaultInjector,
+    FaultPlan,
+    FaultReport,
+    HealingConfig,
+    plan_leader_storm,
+)
 from .maintenance import (
     RecoveryReport,
     kill_leaders,
@@ -26,7 +34,13 @@ from .maintenance import (
     rotate_leaders,
 )
 from .query import DeployedQueryResult, run_deployed_query
-from .routing import TransportEnvelope, TransportProcess, next_direction, trace_route
+from .routing import (
+    CorruptedFrame,
+    TransportEnvelope,
+    TransportProcess,
+    next_direction,
+    trace_route,
+)
 from .stack import DeployedRunResult, DeployedStack, SetupReport, deploy
 from .topology_emulation import (
     EmulatedTopology,
@@ -51,11 +65,17 @@ from .wire import (
 __all__ = [
     "Binding",
     "BindingResult",
+    "CorruptedFrame",
     "DeployedQueryResult",
     "DeployedRunResult",
     "DeployedStack",
     "EmulatedTopology",
     "EmulationResult",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultReport",
+    "HealingConfig",
     "LeaderElectionProcess",
     "LeaderMesh",
     "MeshResult",
@@ -83,6 +103,7 @@ __all__ = [
     "next_direction",
     "oracle_binding",
     "oracle_reachable_directions",
+    "plan_leader_storm",
     "recover",
     "register_payload_codec",
     "residual_energy_metric",

@@ -111,6 +111,12 @@ class Binding:
     network: RealNetwork
     leaders: Dict[GridCoord, int]
     toward_leader: Dict[int, Optional[int]]
+    # (liveness generation, leader) at the last gradient repair, per cell;
+    # throttles on-demand repairs so each churn event rebuilds a cell's
+    # gradient at most once
+    _repair_generation: Dict[GridCoord, Tuple[int, Optional[int]]] = field(
+        default_factory=dict, repr=False, compare=False
+    )
 
     def leader_of(self, cell: GridCoord) -> int:
         """The bound node of ``cell`` (raises ``KeyError`` if unbound)."""
@@ -141,6 +147,48 @@ class Binding:
             path.append(nxt)
             current = nxt
         return path
+
+    def repair_gradient(self, cell: GridCoord) -> bool:
+        """Rebuild ``cell``'s ``toward_leader`` pointers around dead nodes.
+
+        Centralized stand-in for re-running the intra-cell election flood
+        (the paper's "execute periodically" escape hatch), invoked on
+        demand by the self-healing transport when a gradient hop is found
+        dead.  BFS from the current leader over the *alive* intra-cell
+        links, with sorted neighbour iteration so the rebuilt tree is a
+        pure function of the liveness state.  Members unreachable from the
+        leader get ``None`` (their envelopes stay deferred until a
+        restore).  Returns True iff any pointer changed.  Throttled per
+        ``(liveness generation, leader)``, so each churn event repairs a
+        cell at most once; a dead or missing leader is not recorded, so
+        the repair re-runs after the failover installs a successor.
+        """
+        net = self.network
+        leader = self.leaders.get(cell)
+        key = (net.liveness_generation, leader)
+        if self._repair_generation.get(cell) == key:
+            return False
+        if leader is None or not net.node(leader).alive:
+            return False
+        self._repair_generation[cell] = key
+        members = set(net.members_of_cell(cell))  # alive members only
+        parent: Dict[int, Optional[int]] = {leader: None}
+        frontier = [leader]
+        while frontier:
+            nxt: List[int] = []
+            for u in frontier:
+                for v in sorted(net.neighbors(u)):
+                    if v in members and v not in parent:
+                        parent[v] = u
+                        nxt.append(v)
+            frontier = nxt
+        changed = False
+        for m in members:
+            new = parent.get(m)  # None for the leader and for unreached
+            if self.toward_leader.get(m) != new:
+                self.toward_leader[m] = new
+                changed = True
+        return changed
 
     def verify(self, metric: Metric = distance_to_center_metric) -> List[str]:
         """Check against the centralized oracle: exactly one leader per

@@ -34,7 +34,8 @@ def kill_random_nodes(
     if not 0.0 <= fraction <= 1.0:
         raise ValueError(f"fraction must be in [0, 1], got {fraction}")
     r = rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
-    candidates = [nid for nid in network.alive_ids() if nid not in set(spare)]
+    spare_set = set(spare)
+    candidates = [nid for nid in network.alive_ids() if nid not in spare_set]
     k = int(round(fraction * len(candidates)))
     victims = list(r.choice(candidates, size=min(k, len(candidates)), replace=False))
     for nid in victims:

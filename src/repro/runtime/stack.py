@@ -31,6 +31,7 @@ from ..simulator.engine import Simulator
 from ..simulator.network import WirelessMedium
 from ..simulator.process import ProcessHost
 from .binding import Binding, BindingResult, Metric, bind_processes, distance_to_center_metric
+from .faults import FaultInjector, FaultPlan, FaultReport, HealingConfig
 from .routing import TransportEnvelope, TransportProcess
 from .topology_emulation import EmulatedTopology, EmulationResult, emulate_topology
 
@@ -69,6 +70,8 @@ class DeployedRunResult:
     drops: int
     delivered_envelopes: int
     events_processed: int = 0
+    rejected_frames: int = 0
+    fault_report: Optional[FaultReport] = None
 
     @property
     def root_payload(self) -> Any:
@@ -78,6 +81,30 @@ class DeployedRunResult:
                 f"expected exactly one exfiltration, got {len(self.exfiltrated)}"
             )
         return next(iter(self.exfiltrated.values()))
+
+    def fingerprint(self) -> str:
+        """Stable digest of every deterministic observable of the round.
+
+        Covers the energy ledger, traffic counters, latency, event count,
+        rejected frames, and (when fault injection ran) the full
+        :class:`~repro.runtime.faults.FaultReport` — so a seeded fault run
+        is byte-reproducible across processes and shards.
+        """
+        from ..simulator.trace import stable_digest
+
+        return stable_digest(
+            (
+                self.ledger.fingerprint(),
+                tuple(sorted((str(c), repr(v)) for c, v in self.exfiltrated.items())),
+                self.transmissions,
+                self.drops,
+                self.delivered_envelopes,
+                self.latency,
+                self.events_processed,
+                self.rejected_frames,
+                None if self.fault_report is None else self.fault_report.fingerprint(),
+            )
+        )
 
 
 class _AppProcess(TransportProcess):
@@ -94,6 +121,11 @@ class _AppProcess(TransportProcess):
         max_retries: int = 3,
         ack_timeout: float = 4.0,
         wire_format: bool = False,
+        backoff_factor: float = 2.0,
+        backoff_jitter: float = 0.5,
+        healing: Optional[HealingConfig] = None,
+        fault_report: Optional[FaultReport] = None,
+        spec: Optional[SynthesizedProgram] = None,
     ):
         super().__init__(
             topology,
@@ -104,15 +136,29 @@ class _AppProcess(TransportProcess):
             max_retries=max_retries,
             ack_timeout=ack_timeout,
             wire_format=wire_format,
+            backoff_factor=backoff_factor,
+            backoff_jitter=backoff_jitter,
+            healing=healing,
+            fault_report=fault_report,
         )
         self.program = program
         self.result_sink = result_sink
         self.counters = counters
+        self.spec = spec
 
     def on_start(self) -> None:
+        super().on_start()  # arm the healing heartbeat/watch timers
         if self.program is not None:
             effects = self.program.start()
             self._realize(effects)
+
+    def on_become_leader(self) -> None:
+        # failover: adopt the cell's rule program state-fresh and restart
+        # it — the quad-tree program's sender-dedup makes the re-sent
+        # level-0 summary idempotent at the parent
+        if self.program is None and self.spec is not None:
+            self.program = self.spec.program_for(self.my_cell)
+            self._realize(self.program.start())
 
     def _deliver(self, envelope: TransportEnvelope) -> None:
         self.counters["delivered"] += 1
@@ -172,6 +218,10 @@ class DeployedStack:
         max_retries: int = 3,
         ack_timeout: float = 4.0,
         wire_format: bool = False,
+        backoff_factor: float = 2.0,
+        backoff_jitter: float = 0.5,
+        fault_plan: Optional[FaultPlan] = None,
+        healing: Optional[HealingConfig] = None,
     ) -> DeployedRunResult:
         """Execute one round of the synthesized application.
 
@@ -179,10 +229,20 @@ class DeployedStack:
         node per cell).  Every cell's elected leader hosts the rule
         program of its virtual coordinate; all nodes forward.  With
         ``reliable`` the transport uses hop-by-hop acknowledgements and
-        retransmission, making rounds robust to ``loss_rate`` at the cost
-        of ack traffic.  ``wire_format`` routes every hop through the
-        compact binary codec of :mod:`repro.runtime.wire` — observable
-        results are identical; the codec just gets exercised end to end.
+        retransmission (seeded exponential backoff between attempts),
+        making rounds robust to ``loss_rate`` at the cost of ack traffic.
+        ``wire_format`` routes every hop through the compact binary codec
+        of :mod:`repro.runtime.wire` — observable results are identical;
+        the codec just gets exercised end to end.
+
+        ``fault_plan`` arms mid-run fault injection (DESIGN.md §10): its
+        events fire at exact virtual times inside this round.  Supplying a
+        plan enables the self-healing machinery with default
+        :class:`~repro.runtime.faults.HealingConfig` parameters; pass
+        ``healing`` explicitly to tune them (or to enable healing without
+        injecting anything).  The returned result then carries a
+        :class:`~repro.runtime.faults.FaultReport` and folds it into
+        :meth:`DeployedRunResult.fingerprint`.
         """
         side = self.network.cells.cells_per_side
         grid = spec.groups.grid
@@ -191,6 +251,11 @@ class DeployedStack:
                 f"program grid {grid.width}x{grid.height} does not match "
                 f"the {side}x{side} cell decomposition"
             )
+        if healing is None and fault_plan is not None:
+            healing = HealingConfig()
+        report = (
+            FaultReport() if (fault_plan is not None or healing is not None) else None
+        )
         sim = Simulator()
         medium = WirelessMedium(
             sim, self.network, cost_model=self.cost_model,
@@ -199,6 +264,7 @@ class DeployedStack:
         host = ProcessHost(sim, medium)
         results: Dict[GridCoord, Any] = {}
         counters = {"delivered": 0, "dropped": 0, "orphaned": 0}
+        processes: List[_AppProcess] = []
 
         for nid in self.network.alive_ids():
             cell = self.network.cell_of(nid)
@@ -207,22 +273,31 @@ class DeployedStack:
                 if self.binding.leaders.get(cell) == nid
                 else None
             )
-            host.add(
-                nid,
-                _AppProcess(
-                    self.topology,
-                    self.binding,
-                    program,
-                    results,
-                    counters,
-                    reliable=reliable,
-                    max_retries=max_retries,
-                    ack_timeout=ack_timeout,
-                    wire_format=wire_format,
-                ),
+            proc = _AppProcess(
+                self.topology,
+                self.binding,
+                program,
+                results,
+                counters,
+                reliable=reliable,
+                max_retries=max_retries,
+                ack_timeout=ack_timeout,
+                wire_format=wire_format,
+                backoff_factor=backoff_factor,
+                backoff_jitter=backoff_jitter,
+                healing=healing,
+                fault_report=report,
+                spec=spec,
             )
+            processes.append(proc)
+            host.add(nid, proc)
         host.start()
+        if fault_plan:
+            injector = FaultInjector(fault_plan, self.network, self.binding, report)
+            injector.arm(sim, medium)
         sim.run(max_events=max_events)
+        if report is not None:
+            report.orphaned_deliveries = counters["orphaned"]
         return DeployedRunResult(
             exfiltrated=results,
             ledger=medium.ledger,
@@ -231,6 +306,8 @@ class DeployedStack:
             drops=counters["dropped"],
             delivered_envelopes=counters["delivered"],
             events_processed=sim.events_processed,
+            rejected_frames=sum(p.rejected_frames for p in processes),
+            fault_report=report,
         )
 
 

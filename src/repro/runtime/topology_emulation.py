@@ -123,7 +123,9 @@ class EmulatedTopology:
     """The converged product of the protocol: per-node routing tables.
 
     Provides the forwarding queries the transport layer and the tests
-    need; does not mutate the tables.
+    need.  The tables are immutable in normal operation; the only
+    mutation path is :meth:`repair`, the self-healing transport's
+    on-demand rebuild around dead nodes.
     """
 
     def __init__(
@@ -131,6 +133,9 @@ class EmulatedTopology:
     ):
         self.network = network
         self.tables = tables
+        # liveness generation at the last repair of each (cell, direction);
+        # throttles on-demand repairs to one per churn event
+        self._repair_generation: Dict[Tuple[GridCoord, Direction], int] = {}
 
     def entry(self, node_id: int, direction: Direction) -> Optional[int]:
         """``RT_{node}[direction]``."""
@@ -172,6 +177,57 @@ class EmulatedTopology:
                     f"{net.cell_of(nxt)}"
                 )
             current = nxt
+
+    def repair(self, cell: GridCoord, direction: Direction) -> bool:
+        """Rebuild ``RT[direction]`` for ``cell``'s alive members around
+        dead nodes.
+
+        Centralized stand-in for periodically re-running the emulation
+        protocol, invoked on demand by the self-healing transport when a
+        gateway-chain hop is found dead.  Mirrors the oracle construction:
+        seeds are alive members with an alive one-hop neighbour in the
+        adjacent cell (entry = lowest-id such neighbour, the protocol's
+        own tie-break), then BFS inward with sorted iteration so the
+        rebuilt chains are a pure function of the liveness state.
+        Unreachable members get ``None``.  Returns True iff any entry
+        changed; throttled per liveness generation.
+        """
+        net = self.network
+        key = (cell, direction)
+        gen = net.liveness_generation
+        if self._repair_generation.get(key) == gen:
+            return False
+        self._repair_generation[key] = gen
+        target = direction.step(cell)
+        if not net.cells.contains_cell(target):
+            return False
+        members = net.members_of_cell(cell)  # alive members only
+        member_set = set(members)
+        new_entry: Dict[int, Optional[int]] = {}
+        seeds: List[int] = []
+        for m in members:
+            cross = [n for n in net.neighbors(m) if net.cell_of(n) == target]
+            if cross:
+                new_entry[m] = min(cross)
+                seeds.append(m)
+        frontier = sorted(seeds)
+        reached = set(frontier)
+        while frontier:
+            nxt: List[int] = []
+            for u in frontier:
+                for v in sorted(net.neighbors(u)):
+                    if v in member_set and v not in reached:
+                        reached.add(v)
+                        new_entry[v] = u
+                        nxt.append(v)
+            frontier = nxt
+        changed = False
+        for m in members:
+            new = new_entry.get(m)
+            if self.tables[m][direction] != new:
+                self.tables[m][direction] = new
+                changed = True
+        return changed
 
     def verify(self) -> List[str]:
         """Check the converged tables against the oracle.

@@ -106,6 +106,32 @@ class WirelessMedium:
         self.ledger = EnergyLedger()
         self.stats = MediumStats()
         self._handlers: Dict[int, Callable[[Packet], None]] = {}
+        # (src, dst) pairs whose radio link is administratively severed
+        # (fault injection); empty in normal operation so the hot paths
+        # pay only a truthiness check
+        self._blocked_links: "set[tuple[int, int]]" = set()
+        # optional in-flight frame mangler (fault injection): called with
+        # each outgoing Packet, returns the packet to actually deliver
+        self.tx_transform: Optional[Callable[[Packet], Packet]] = None
+
+    # -- link partitioning (fault injection) --------------------------------------
+
+    def block_link(self, a: int, b: int, symmetric: bool = True) -> None:
+        """Sever the radio link ``a -> b`` (and ``b -> a`` if symmetric).
+
+        Blocked links drop transmissions before any loss/jitter draw is
+        consumed, so a plan that partitions links perturbs the RNG stream
+        only through the deliveries it removes — deterministically.
+        """
+        self._blocked_links.add((a, b))
+        if symmetric:
+            self._blocked_links.add((b, a))
+
+    def unblock_link(self, a: int, b: int, symmetric: bool = True) -> None:
+        """Restore a previously blocked link (no-op if not blocked)."""
+        self._blocked_links.discard((a, b))
+        if symmetric:
+            self._blocked_links.discard((b, a))
 
     def attach(self, node_id: int, handler: Callable[[Packet], None]) -> None:
         """Register the packet handler of ``node_id`` (its process)."""
@@ -138,7 +164,12 @@ class WirelessMedium:
             return 0
         self._charge_tx(src, size_units, kind)
         packet = Packet(src=src, kind=kind, payload=payload, size_units=size_units)
+        if self.tx_transform is not None:
+            packet = self.tx_transform(packet)
         receivers = self.network.alive_neighbors(src)
+        if self._blocked_links:
+            blocked = self._blocked_links
+            receivers = [r for r in receivers if (src, r) not in blocked]
         if not receivers:
             self.stats.record_tx(kind, size_units, 0)
             return 0
@@ -194,9 +225,16 @@ class WirelessMedium:
         if dst not in self.network.neighbor_set(src):
             raise ValueError(f"{dst} is not a one-hop neighbour of {src}")
         self._charge_tx(src, size_units, kind)
+        if self._blocked_links and (src, dst) in self._blocked_links:
+            # partitioned link: energy is spent, nothing arrives
+            self.stats.record_drop(kind)
+            self.stats.record_tx(kind, size_units, 0)
+            return False
         packet = Packet(
             src=src, kind=kind, payload=payload, size_units=size_units, dst=dst
         )
+        if self.tx_transform is not None:
+            packet = self.tx_transform(packet)
         ok = self._deliver(packet, dst)
         self.stats.record_tx(kind, size_units, 1 if ok else 0)
         return ok

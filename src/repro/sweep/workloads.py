@@ -37,7 +37,15 @@ import numpy as np
 from ..core import CountAggregation, VirtualArchitecture
 from ..deployment import CellGrid, Terrain, build_network, ensure_coverage, uniform_random
 from ..deployment.topology import RealNetwork
-from ..runtime import deploy, kill_leaders, kill_random_nodes, recover, rotate_leaders
+from ..runtime import (
+    FaultPlan,
+    deploy,
+    kill_leaders,
+    kill_random_nodes,
+    plan_leader_storm,
+    recover,
+    rotate_leaders,
+)
 from ..simulator.engine import Simulator
 from ..simulator.network import WirelessMedium
 from ..simulator.trace import stable_digest
@@ -100,12 +108,23 @@ def e1_scaling(params: Dict[str, Any], seed: int) -> WorkloadOutcome:
     encoded through the :mod:`repro.runtime.wire` codec; the fingerprint
     is codec-independent by design, which is what the differential
     conformance tests pin.
+
+    ``faultplan`` (a list of event dicts, the
+    :meth:`~repro.runtime.faults.FaultPlan.to_dicts` shape) arms mid-run
+    fault injection; the plan and the resulting
+    :class:`~repro.runtime.faults.FaultReport` fold into the fingerprint,
+    so seeded fault runs shard deterministically like fault-free ones.
+    With a plan the round defaults to ``reliable=True`` and
+    ``max_retries=8`` (self-healing needs the ARQ to redirect).
     """
     side = int(params.get("side", 8))
     n_random = int(params.get("n_random", side * side * 7))
     loss = float(params.get("loss", 0.0))
-    reliable = bool(params.get("reliable", loss > 0.0))
     wire = bool(params.get("wire", False))
+    plan_spec = params.get("faultplan")
+    plan = FaultPlan.from_dicts(plan_spec) if plan_spec else None
+    reliable = bool(params.get("reliable", loss > 0.0 or plan is not None))
+    max_retries = int(params.get("max_retries", 8 if plan is not None else 3))
     net = _make_deployment(side, n_random, seed)
     stack = deploy(net)
     va = VirtualArchitecture(side)
@@ -113,33 +132,38 @@ def e1_scaling(params: Dict[str, Any], seed: int) -> WorkloadOutcome:
     t0 = time.perf_counter()
     result = stack.run_application(
         spec, loss_rate=loss, rng=np.random.default_rng(seed),
-        reliable=reliable, wire_format=wire,
+        reliable=reliable, max_retries=max_retries, wire_format=wire,
+        fault_plan=plan,
     )
     wall = time.perf_counter() - t0
     if result.root_payload != side * side:
         raise RuntimeError(
             f"E1 count mismatch: got {result.root_payload}, want {side * side}"
         )
-    return WorkloadOutcome(
-        metrics={
-            "side": float(side),
-            "n_nodes": float(len(net)),
-            "wall_s": wall,
-            "transmissions": float(result.transmissions),
-            "tx_per_s": result.transmissions / wall,
-            "latency": result.latency,
-            "events_processed": float(result.events_processed),
-        },
-        fingerprint=stable_digest(
-            (
-                result.ledger.fingerprint(),
-                result.transmissions,
-                result.drops,
-                result.latency,
-                result.events_processed,
-            )
-        ),
-    )
+    metrics = {
+        "side": float(side),
+        "n_nodes": float(len(net)),
+        "wall_s": wall,
+        "transmissions": float(result.transmissions),
+        "tx_per_s": result.transmissions / wall,
+        "latency": result.latency,
+        "events_processed": float(result.events_processed),
+    }
+    fp_parts: List[Any] = [
+        result.ledger.fingerprint(),
+        result.transmissions,
+        result.drops,
+        result.latency,
+        result.events_processed,
+    ]
+    if plan is not None:
+        report = result.fault_report
+        assert report is not None
+        metrics["failovers"] = float(len(report.failovers))
+        metrics["reroutes"] = float(report.reroutes)
+        metrics["frames_rejected"] = float(report.frames_rejected)
+        fp_parts.extend([plan.fingerprint(), report.fingerprint()])
+    return WorkloadOutcome(metrics=metrics, fingerprint=stable_digest(tuple(fp_parts)))
 
 
 @workload("storm")
@@ -228,6 +252,12 @@ def leader_churn(params: Dict[str, Any], seed: int) -> WorkloadOutcome:
     ``node_churn`` additionally kills a uniform fraction of remaining
     nodes.  An unrecoverable deployment (emptied cell) is *not* an error —
     it is the measured outcome (``recovered = 0``), matching E8.
+
+    ``midrun_kill`` > 0 additionally kills that many leaders *during* the
+    post-recovery application round (in-run faults, DESIGN.md §10) —
+    distinguishing the offline churn path above from the online
+    self-healing one; the round then runs reliable with healing and the
+    fault report folds into the fingerprint.
     """
     side = int(params.get("side", 4))
     n_random = int(params.get("n_random", 150))
@@ -235,6 +265,7 @@ def leader_churn(params: Dict[str, Any], seed: int) -> WorkloadOutcome:
     node_churn = float(params.get("node_churn", 0.0))
     rotate = bool(params.get("rotate", False))
     wire = bool(params.get("wire", False))
+    midrun_kill = int(params.get("midrun_kill", 0))
     if not 0.0 <= churn <= 1.0:
         raise ValueError(f"churn must be in [0, 1], got {churn}")
     net = _make_deployment(side, n_random, seed)
@@ -279,13 +310,27 @@ def leader_churn(params: Dict[str, Any], seed: int) -> WorkloadOutcome:
             metrics["rotated_cells"] = float(moved)
             fp_parts.append(tuple(sorted((str(c), n) for c, n in live.binding.leaders.items())))
         va = VirtualArchitecture(side)
+        plan = None
+        if midrun_kill > 0:
+            plan = plan_leader_storm(
+                sorted(live.binding.leaders), kills=midrun_kill, at=0.5, seed=seed
+            )
         run = live.run_application(
-            va.synthesize(CountAggregation(lambda c: True)), wire_format=wire
+            va.synthesize(CountAggregation(lambda c: True)),
+            wire_format=wire,
+            reliable=plan is not None,
+            max_retries=8 if plan is not None else 3,
+            fault_plan=plan,
         )
         metrics["app_count"] = float(run.root_payload)
         metrics["app_latency"] = run.latency
         metrics["events_processed"] = float(run.events_processed)
         fp_parts.extend([run.ledger.fingerprint(), run.transmissions, run.latency])
+        if plan is not None:
+            report = run.fault_report
+            assert report is not None
+            metrics["midrun_failovers"] = float(len(report.failovers))
+            fp_parts.extend([plan.fingerprint(), report.fingerprint()])
     return WorkloadOutcome(metrics=metrics, fingerprint=stable_digest(tuple(fp_parts)))
 
 

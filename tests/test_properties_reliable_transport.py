@@ -44,7 +44,11 @@ def shared_stack():
 
 
 def run_reliable_round(
-    loss_rate: float, seed: int, n_envelopes: int, wire_format: bool = False
+    loss_rate: float,
+    seed: int,
+    n_envelopes: int,
+    wire_format: bool = False,
+    backoff: bool = True,
 ):
     net, stack = shared_stack()
     sim = Simulator()
@@ -65,6 +69,9 @@ def run_reliable_round(
                 reliable=True,
                 max_retries=10,
                 wire_format=wire_format,
+                # backoff=False recovers the legacy fixed retry interval
+                backoff_factor=2.0 if backoff else 1.0,
+                backoff_jitter=0.5 if backoff else 0.0,
             ),
         )
     host.start()
@@ -82,6 +89,9 @@ def run_reliable_round(
 
 
 @pytest.mark.parametrize(
+    "backoff", [True, False], ids=["backoff", "fixed-interval"]
+)
+@pytest.mark.parametrize(
     "wire_format", [False, True], ids=["plain", "wire-codec"]
 )
 @given(
@@ -89,16 +99,20 @@ def run_reliable_round(
     seed=st.integers(min_value=0, max_value=2**31 - 1),
 )
 @settings(max_examples=12, deadline=None)
-def test_at_most_once_delivery_and_no_lost_new_uids(wire_format, loss_rate, seed):
+def test_at_most_once_delivery_and_no_lost_new_uids(
+    wire_format, backoff, loss_rate, seed
+):
     """ARQ retransmission never delivers a uid twice, with the wire codec
-    on as well as off — encode/decode must not perturb dedup state."""
+    on as well as off, and with exponential backoff on as well as the
+    legacy fixed retry interval — retry *timing* must not affect the
+    delivery semantics."""
     delivered, dropped, host = run_reliable_round(
-        loss_rate, seed, n_envelopes=12, wire_format=wire_format
+        loss_rate, seed, n_envelopes=12, wire_format=wire_format, backoff=backoff
     )
     # at-most-once: no uid reaches on_deliver twice
     assert len(delivered) == len(set(delivered)), (
         f"duplicate delivery under loss={loss_rate} seed={seed} "
-        f"wire_format={wire_format}"
+        f"wire_format={wire_format} backoff={backoff}"
     )
     # accounting: every originated envelope is delivered or explicitly
     # dropped somewhere — a *new* uid swallowed by duplicate suppression
@@ -106,7 +120,8 @@ def test_at_most_once_delivery_and_no_lost_new_uids(wire_format, loss_rate, seed
     accounted = set(delivered) | set(dropped)
     assert len(accounted) == 12, (
         f"envelopes vanished: {12 - len(accounted)} unaccounted "
-        f"(loss={loss_rate} seed={seed} wire_format={wire_format})"
+        f"(loss={loss_rate} seed={seed} wire_format={wire_format} "
+        f"backoff={backoff})"
     )
 
 
@@ -143,3 +158,47 @@ def test_same_seed_runs_are_identical():
     assert _deployed_fingerprint(77) == _deployed_fingerprint(77)
     # and the seed actually matters (guards against a seed being ignored)
     assert _deployed_fingerprint(77) != _deployed_fingerprint(78)
+
+
+def test_retry_delay_is_deterministic_monotone_and_capped():
+    """The backoff schedule is a pure function of (node, uid, attempt):
+    exponential in the attempt, jittered within [base, base * (1+jitter)],
+    capped at backoff_max, and identical across process instances."""
+    net, stack = shared_stack()
+
+    def make():
+        return TransportProcess(
+            stack.topology, stack.binding, reliable=True,
+            ack_timeout=4.0, backoff_factor=2.0, backoff_jitter=0.5,
+        )
+
+    p1, p2 = make(), make()
+    p1.node_id = p2.node_id = 5
+    uid = (5, 3)
+    delays = [p1._retry_delay(uid, k) for k in range(8)]
+    assert delays == [p2._retry_delay(uid, k) for k in range(8)]
+    for k, d in enumerate(delays):
+        base = min(4.0 * 2.0**k, p1.backoff_max)
+        assert base <= d <= base * 1.5
+    # cap: exponent growth stops at backoff_max (jitter aside)
+    assert delays[-1] <= p1.backoff_max * 1.5
+    # a different uid or node yields a different jitter draw somewhere
+    assert [p1._retry_delay((5, 4), k) for k in range(8)] != delays
+
+
+def test_backoff_off_recovers_fixed_interval():
+    net, stack = shared_stack()
+    p = TransportProcess(
+        stack.topology, stack.binding, reliable=True,
+        ack_timeout=4.0, backoff_factor=1.0, backoff_jitter=0.0,
+    )
+    p.node_id = 1
+    assert [p._retry_delay((1, 0), k) for k in range(5)] == [4.0] * 5
+
+
+def test_backoff_parameter_validation():
+    net, stack = shared_stack()
+    with pytest.raises(ValueError):
+        TransportProcess(stack.topology, stack.binding, backoff_factor=0.5)
+    with pytest.raises(ValueError):
+        TransportProcess(stack.topology, stack.binding, backoff_jitter=-0.1)
