@@ -11,6 +11,11 @@ orchestrator (see :mod:`repro.sweep.cli` for flags).
 (kill leaders / partition / corrupt frames, each under reliable on/off
 and wire on/off) asserting determinism and recovery — the CI
 ``fault-matrix`` job.
+
+``python -m repro serve`` brings up a persistent query engine over a
+small deployment and serves a synthesized arrival stream, printing the
+per-round cache/radio accounting; ``--self-check`` runs the serving
+acceptance matrix instead (the CI ``serve`` job).
 """
 
 from __future__ import annotations
@@ -27,6 +32,67 @@ from .core import VirtualArchitecture
 from .core.analysis import estimate_quadtree, quadtree_step_count
 
 
+def _serve_demo(args: list[str]) -> int:
+    """``python -m repro serve [--self-check]``."""
+    from .serve import self_check
+
+    if "--self-check" in args:
+        return 0 if self_check() else 1
+
+    import numpy as np
+
+    from .core import CountAggregation
+    from .deployment import (
+        CellGrid,
+        Terrain,
+        build_network,
+        ensure_coverage,
+        uniform_random,
+    )
+    from .runtime import deploy
+    from .serve import QueryEngine, ServeConfig, synthesize_arrivals
+
+    side = int(args[0]) if args else 4
+    n_queries = int(args[1]) if len(args) > 1 else 12
+    terrain = Terrain(100.0)
+    cells = CellGrid(terrain, side)
+    rng = np.random.default_rng(7)
+    positions = ensure_coverage(
+        uniform_random(side * side * 9, terrain, rng), cells, rng
+    )
+    net = build_network(positions, cells, tx_range=cells.cell_side * 2.3)
+    stack = deploy(net)
+    va = VirtualArchitecture(side)
+    gather = stack.run_application(
+        va.synthesize(CountAggregation(lambda c: True), max_level=1)
+    )
+    engine = QueryEngine(
+        stack, storage=dict(gather.exfiltrated), config=ServeConfig()
+    )
+    print(f"deployed stack       : {side}x{side} cells, {len(net)} nodes, "
+          f"{len(gather.exfiltrated)} storage leaders")
+    arrivals = synthesize_arrivals(
+        sorted(stack.binding.leaders), n_queries, seed=5, tenants=3
+    )
+    report = engine.serve(arrivals, round_interval=2.0, reduce_fn=sum)
+    for i, batch in enumerate(report.batches):
+        hits = sum(o.cache_hits for o in batch.outcomes)
+        print(
+            f"round {i}: {len(batch.outcomes)} queries admitted at "
+            f"t={batch.admitted_at:.1f}, {batch.transmissions} tx, "
+            f"{hits} cache hits, energy {batch.energy:.1f}"
+        )
+    print(
+        f"served {report.queries} queries "
+        f"({report.complete_queries} complete) over "
+        f"{len(report.batches)} rounds: cache hit rate "
+        f"{report.cache_hit_rate:.2f}, {report.transmissions} tx, "
+        f"energy {report.energy:.1f}"
+    )
+    print(f"engine fingerprint   : {engine.fingerprint()}")
+    return 0 if report.complete_queries == report.queries else 1
+
+
 def main(argv: list[str] | None = None) -> int:
     """Run the demo; returns a process exit code."""
     args = list(sys.argv[1:] if argv is None else argv)
@@ -41,6 +107,8 @@ def main(argv: list[str] | None = None) -> int:
             print("usage: python -m repro faults --self-check", file=sys.stderr)
             return 2
         return 0 if self_check() else 1
+    if args and args[0] == "serve":
+        return _serve_demo(args[1:])
     side = int(args[0]) if args else 16
     threshold = float(args[1]) if len(args) > 1 else 0.5
     # side <= 0 must not slip through: 0 & -1 == 0 passes the bit trick

@@ -70,6 +70,18 @@ class DistributedStorage:
         """The storage nodes, sorted."""
         return sorted(self.summaries)
 
+    def counts(self) -> Dict[GridCoord, int]:
+        """``cell -> local region count`` — the payload map the deployed
+        query layer (:func:`~repro.runtime.query.run_deployed_query`, or a
+        persistent :class:`~repro.serve.engine.QueryEngine`) serves for
+        count queries."""
+        return {c: s.total_regions() for c, s in self.summaries.items()}
+
+    def payloads(self) -> Dict[GridCoord, RegionSummary]:
+        """``cell -> stored summary`` — the payload map for deployed
+        summary-shipping queries (exact counts, area enumeration)."""
+        return dict(self.summaries)
+
 
 @dataclass
 class QueryResult:

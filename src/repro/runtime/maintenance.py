@@ -11,6 +11,7 @@ re-execution, compressed to on-demand for experiments).
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
@@ -36,7 +37,9 @@ def kill_random_nodes(
     r = rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
     spare_set = set(spare)
     candidates = [nid for nid in network.alive_ids() if nid not in spare_set]
-    k = int(round(fraction * len(candidates)))
+    # round-half-up, NOT round(): banker's rounding makes the victim
+    # count non-monotonic in fraction (1.5 -> 2 but 2.5 -> 2)
+    k = math.floor(fraction * len(candidates) + 0.5)
     victims = list(r.choice(candidates, size=min(k, len(candidates)), replace=False))
     for nid in victims:
         network.node(int(nid)).kill()

@@ -9,31 +9,51 @@ radio cost of querying is then directly comparable with the gathering
 round that populated the storage — the paper's claim that *"processing
 and responding to queries could be in most cases decoupled from the
 actual data gathering"*.
+
+Since the serving engine landed, :func:`run_deployed_query` is a thin
+one-shot wrapper over :class:`~repro.serve.engine.QueryEngine`: it
+builds an engine with caching disabled, serves a single batch of one
+query, and tears everything down.  Long-lived multi-query serving —
+admission batching, epoch-cached aggregates, fault interaction — lives
+in :mod:`repro.serve`.
+
+Two historical bugs are fixed by the engine-backed implementation:
+
+* the result now reports ``complete`` / ``missing_cells`` — under loss
+  the reducer used to run over whatever happened to arrive, with no way
+  to tell a partial answer from a full one;
+* the ``misdirected`` counter (protocol routing errors) used to be
+  tracked internally but dropped on the floor; it is now part of the
+  result.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Any, Callable, Dict, List, Optional, Sequence
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
 
 import numpy as np
 
 from ..core.coords import GridCoord
-from ..core.cost_model import EnergyLedger
-from ..simulator.engine import Simulator
-from ..simulator.network import WirelessMedium
-from ..simulator.process import ProcessHost
-from .routing import TransportEnvelope, TransportProcess
 from .stack import DeployedStack
 
-#: Inner-payload tags used by the query protocol.
+#: Inner-payload tags used by the query protocol (defined in
+#: :mod:`repro.serve.engine`; mirrored here for back-compat).
 QUERY_REQUEST = "qreq"
 QUERY_RESPONSE = "qresp"
 
 
 @dataclass
 class DeployedQueryResult:
-    """Outcome of one query round over the physical stack."""
+    """Outcome of one query round over the physical stack.
+
+    ``complete`` is ``True`` iff every storage cell answered (or was
+    served locally); otherwise ``missing_cells`` lists exactly which
+    cells the answer is missing, so a lossy partial answer is never
+    mistaken for a full one.  ``misdirected`` counts protocol routing
+    errors (a request or response delivered to a node that could not
+    consume it).
+    """
 
     value: Any
     responses: int
@@ -41,55 +61,9 @@ class DeployedQueryResult:
     energy: float
     transmissions: int
     drops: int
-
-
-class _QueryProcess(TransportProcess):
-    """Per-node transport plus the storage/querier roles."""
-
-    def __init__(
-        self,
-        topology,
-        binding,
-        stored: Optional[Any],
-        is_querier: bool,
-        expected_responses: int,
-        response_size_of: Callable[[Any], float],
-        collected: List[Any],
-        counters: Dict[str, int],
-        reliable: bool = False,
-        wire_format: bool = False,
-    ):
-        super().__init__(topology, binding, reliable=reliable, wire_format=wire_format)
-        self.stored = stored
-        self.is_querier = is_querier
-        self.expected_responses = expected_responses
-        self.response_size_of = response_size_of
-        self.collected = collected
-        self.counters = counters
-
-    def _deliver(self, envelope: TransportEnvelope) -> None:
-        kind, body = envelope.inner
-        if kind == QUERY_REQUEST:
-            if self.stored is None:
-                self.counters["misdirected"] += 1
-                return
-            # originate() (rather than hand-built envelopes) so the reply
-            # gets a uid and rides the reliable transport when enabled
-            self.originate(
-                body,  # the querier's cell rides in the request
-                (QUERY_RESPONSE, self.stored),
-                size_units=self.response_size_of(self.stored),
-            )
-        elif kind == QUERY_RESPONSE:
-            if not self.is_querier:
-                self.counters["misdirected"] += 1
-                return
-            self.collected.append(body)
-            self.counters["responses"] += 1
-
-    def _drop(self, envelope: TransportEnvelope, reason: str) -> None:
-        super()._drop(envelope, reason)
-        self.counters["dropped"] += 1
+    complete: bool = True
+    missing_cells: List[GridCoord] = field(default_factory=list)
+    misdirected: int = 0
 
 
 def run_deployed_query(
@@ -118,61 +92,38 @@ def run_deployed_query(
     reduce_fn:
         Combines the collected responses (including the querier's own
         stored payload, if it is itself a storage cell) into the answer.
+        Payloads are reduced in sorted-cell order.
     request_size / response_size_of:
         Data units of requests and responses (default 1 unit each).
     """
+    # imported here: repro.serve builds on the runtime package, so a
+    # module-level import would be circular
+    from ..serve.engine import QueryEngine, ServeConfig
+
     if query_cell not in stack.binding.leaders:
         raise ValueError(f"query cell {query_cell} has no bound leader")
-    sizes = response_size_of or (lambda payload: 1.0)
-    network = stack.network
-    sim = Simulator()
-    medium = WirelessMedium(
-        sim, network, cost_model=stack.cost_model, loss_rate=loss_rate, rng=rng
-    )
-    host = ProcessHost(sim, medium)
-    collected: List[Any] = []
-    counters = {"responses": 0, "dropped": 0, "misdirected": 0}
-
-    remote_cells = [c for c in storage if c != query_cell]
-    querier_proc: Optional[_QueryProcess] = None
-    for nid in network.alive_ids():
-        cell = network.cell_of(nid)
-        is_bound_leader = stack.binding.leaders.get(cell) == nid
-        proc = _QueryProcess(
-            stack.topology,
-            stack.binding,
-            stored=storage.get(cell) if is_bound_leader else None,
-            is_querier=is_bound_leader and cell == query_cell,
-            expected_responses=len(remote_cells),
-            response_size_of=sizes,
-            collected=collected,
-            counters=counters,
+    engine = QueryEngine(
+        stack,
+        storage=storage,
+        config=ServeConfig(
+            loss_rate=loss_rate,
+            rng=rng,
             reliable=reliable,
             wire_format=wire_format,
-        )
-        host.add(nid, proc)
-        if proc.is_querier:
-            querier_proc = proc
-    assert querier_proc is not None
-
-    # the querier's own stored payload (if any) needs no radio round trip
-    if query_cell in storage:
-        collected.append(storage[query_cell])
-
-    def inject() -> None:
-        for cell in remote_cells:
-            querier_proc.originate(
-                cell, (QUERY_REQUEST, query_cell), size_units=request_size
-            )
-
-    sim.schedule(0.0, inject)
-    sim.run_until_quiet()
-
+            cache=False,  # one-shot: nothing to keep warm
+            request_size=request_size,
+            response_size_of=response_size_of,
+        ),
+    )
+    outcome = engine.query(query_cell, reduce_fn=reduce_fn)
     return DeployedQueryResult(
-        value=reduce_fn(collected),
-        responses=counters["responses"],
-        latency=sim.now,
-        energy=medium.ledger.total,
-        transmissions=medium.stats.transmissions,
-        drops=counters["dropped"],
+        value=outcome.value,
+        responses=outcome.responses,
+        latency=engine.sim.now,
+        energy=engine.medium.ledger.total,
+        transmissions=engine.medium.stats.transmissions,
+        drops=engine.stats.drops,
+        complete=outcome.complete,
+        missing_cells=outcome.missing_cells,
+        misdirected=outcome.misdirected,
     )

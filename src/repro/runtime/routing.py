@@ -283,6 +283,7 @@ class TransportProcess(Process):
             "drops": self.drops,
             "retransmissions": self.retransmissions,
             "duplicates_suppressed": self.duplicates_suppressed,
+            "rejected_frames": self.rejected_frames,
         }
 
     # -- lifecycle -----------------------------------------------------------------

@@ -208,6 +208,26 @@ class DeployedStack:
         self.setup = setup
         self.cost_model = cost_model or UniformCostModel()
 
+    def make_harness(
+        self,
+        loss_rate: float = 0.0,
+        rng: "np.random.Generator | int | None" = None,
+    ) -> Tuple[Simulator, WirelessMedium, ProcessHost]:
+        """A fresh simulator/medium/host triple over this deployment.
+
+        Every execution surface on the stack — application rounds, the
+        one-shot query wrapper, and the persistent serving engine
+        (:class:`~repro.serve.engine.QueryEngine`, which keeps one harness
+        alive across queries) — builds its radio world through here, so
+        medium wiring and cost accounting stay identical everywhere.
+        """
+        sim = Simulator()
+        medium = WirelessMedium(
+            sim, self.network, cost_model=self.cost_model,
+            loss_rate=loss_rate, rng=rng,
+        )
+        return sim, medium, ProcessHost(sim, medium)
+
     def run_application(
         self,
         spec: SynthesizedProgram,
@@ -256,12 +276,7 @@ class DeployedStack:
         report = (
             FaultReport() if (fault_plan is not None or healing is not None) else None
         )
-        sim = Simulator()
-        medium = WirelessMedium(
-            sim, self.network, cost_model=self.cost_model,
-            loss_rate=loss_rate, rng=rng,
-        )
-        host = ProcessHost(sim, medium)
+        sim, medium, host = self.make_harness(loss_rate=loss_rate, rng=rng)
         results: Dict[GridCoord, Any] = {}
         counters = {"delivered": 0, "dropped": 0, "orphaned": 0}
         processes: List[_AppProcess] = []

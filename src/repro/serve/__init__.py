@@ -1,0 +1,50 @@
+"""Persistent query serving over the deployed network.
+
+The paper's end goal is topographic *querying*, yet
+:func:`~repro.runtime.query.run_deployed_query` is one-shot: build the
+simulator, answer, tear down.  This package is the long-lived engine the
+ROADMAP's "serve the network" item calls for — the "millions of users"
+workload of grid-cell query serving:
+
+* :class:`~repro.serve.engine.QueryEngine` keeps one simulator, medium,
+  and per-node transport process set alive across queries, so repeat
+  queries pay no setup and the virtual clock forms a single monotone
+  serving timeline;
+* the admission layer (:mod:`repro.serve.admission`) turns a
+  seed-deterministic concurrent arrival stream into protocol rounds,
+  batching co-arriving queries into one radio phase;
+* querier leaders cache collected aggregates keyed by a per-cell
+  freshness epoch, with incremental invalidation when fields change
+  (:meth:`~repro.serve.engine.QueryEngine.update_field`) or when faults
+  from the PR 5 :class:`~repro.runtime.faults.FaultPlan` machinery dirty
+  a cell — warm queries answer without touching the radio.
+
+``python -m repro serve --self-check`` runs the CI acceptance matrix
+(:mod:`repro.serve.selfcheck`).
+"""
+
+from .admission import Arrival, batch_rounds, synthesize_arrivals
+from .engine import (
+    BatchResult,
+    EngineStats,
+    QueryCall,
+    QueryEngine,
+    QueryOutcome,
+    ServeConfig,
+    ServeReport,
+)
+from .selfcheck import self_check
+
+__all__ = [
+    "Arrival",
+    "BatchResult",
+    "EngineStats",
+    "QueryCall",
+    "QueryEngine",
+    "QueryOutcome",
+    "ServeConfig",
+    "ServeReport",
+    "batch_rounds",
+    "self_check",
+    "synthesize_arrivals",
+]

@@ -1,0 +1,644 @@
+"""The persistent deployed query engine.
+
+One :class:`QueryEngine` instance keeps a single simulator, wireless
+medium, and per-node transport-process set alive over a
+:class:`~repro.runtime.stack.DeployedStack` for its whole lifetime.
+Queries are admitted in batches (one radio phase per admission round,
+see :mod:`repro.serve.admission`); the virtual clock never resets, so a
+serving session is one monotone timeline the way a real deployment is.
+
+Compared to :func:`~repro.runtime.query.run_deployed_query` (now a thin
+one-shot wrapper over this engine) the persistent design adds:
+
+* **admission batching** — co-arriving queries share one protocol round;
+  requests of the whole batch are injected together and the round runs
+  until the radio quiesces;
+* **epoch-cached aggregates** — the engine keeps, per querier leader,
+  the payloads that leader has collected, keyed by a per-storage-cell
+  freshness epoch.  A repeat query whose target cells are all fresh in
+  cache answers without a single transmission.  Epochs bump on
+  :meth:`QueryEngine.update_field` / :meth:`QueryEngine.invalidate` and
+  when an armed :class:`~repro.runtime.faults.FaultPlan` event dirties a
+  cell, so staleness is tracked incrementally, not by flushing;
+* **completeness accounting** — every query knows which storage cells it
+  expected, so a lossy round reports ``complete=False`` plus the exact
+  ``missing_cells`` instead of silently reducing over a partial set (the
+  historical ``run_deployed_query`` bug), and protocol routing errors
+  surface as the per-query ``misdirected`` counter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.coords import GridCoord
+from ..runtime.faults import FaultInjector, FaultPlan, FaultReport
+from ..runtime.routing import TransportEnvelope, TransportProcess
+from ..runtime.stack import DeployedStack
+from ..simulator.trace import stable_digest
+from .admission import Arrival, batch_rounds
+
+#: Inner-payload tags of the serving protocol (request carries the query
+#: id and the querier's cell; response echoes the id plus the responder's
+#: cell and stored payload, so answers are attributable per query).
+QUERY_REQUEST = "qreq"
+QUERY_RESPONSE = "qresp"
+
+
+@dataclass
+class ServeConfig:
+    """Engine-lifetime parameters (per-query knobs ride on the calls)."""
+
+    loss_rate: float = 0.0
+    rng: "np.random.Generator | int | None" = None
+    reliable: bool = False
+    wire_format: bool = False
+    cache: bool = True
+    request_size: float = 1.0
+    response_size_of: Optional[Callable[[Any], float]] = None
+    max_retries: int = 3
+    ack_timeout: float = 4.0
+    max_events_per_round: int = 10_000_000
+
+
+@dataclass(frozen=True)
+class QueryCall:
+    """One admitted query, engine-facing.
+
+    ``cells=None`` targets every cell currently stored; ``reduce_fn``
+    combines the collected payloads **in sorted-cell order** (so a warm
+    cache-served answer reduces in exactly the same order as a cold
+    radio-served one) and defaults to returning the payload list.
+    """
+
+    query_cell: GridCoord
+    cells: Optional[Tuple[GridCoord, ...]] = None
+    reduce_fn: Optional[Callable[[List[Any]], Any]] = None
+    tenant: int = 0
+
+
+@dataclass
+class QueryOutcome:
+    """Everything one served query reports back."""
+
+    qid: int
+    tenant: int
+    query_cell: GridCoord
+    value: Any
+    complete: bool
+    missing_cells: List[GridCoord]
+    responses: int
+    cache_hits: int
+    cache_misses: int
+    local_hits: int
+    misdirected: int
+    drops: int
+    latency: float
+    admitted_at: float
+    completed_at: float
+
+    def digest_tuple(self) -> Tuple[Any, ...]:
+        """Deterministic-field tuple folded into engine fingerprints."""
+        return (
+            self.qid,
+            self.tenant,
+            str(self.query_cell),
+            repr(self.value),
+            self.complete,
+            tuple(str(c) for c in self.missing_cells),
+            self.responses,
+            self.cache_hits,
+            self.cache_misses,
+            self.local_hits,
+            self.misdirected,
+            self.drops,
+            self.latency,
+            self.admitted_at,
+            self.completed_at,
+        )
+
+
+@dataclass
+class BatchResult:
+    """One admission round: its outcomes plus the round's radio bill."""
+
+    outcomes: List[QueryOutcome]
+    admitted_at: float
+    quiesced_at: float
+    latency: float
+    energy: float
+    transmissions: int
+    drops: int
+
+
+@dataclass
+class EngineStats:
+    """Lifetime counters of one engine instance."""
+
+    queries: int = 0
+    batches: int = 0
+    responses: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    local_hits: int = 0
+    misdirected: int = 0
+    drops: int = 0
+    incomplete_queries: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        """Cache hits over all cache lookups that could have hit."""
+        looked = self.cache_hits + self.cache_misses
+        return self.cache_hits / looked if looked else 0.0
+
+    def digest_tuple(self) -> Tuple[Any, ...]:
+        return (
+            self.queries,
+            self.batches,
+            self.responses,
+            self.cache_hits,
+            self.cache_misses,
+            self.local_hits,
+            self.misdirected,
+            self.drops,
+            self.incomplete_queries,
+        )
+
+
+@dataclass
+class ServeReport:
+    """Outcome of serving one arrival stream end to end."""
+
+    outcomes: List[QueryOutcome]
+    batches: List[BatchResult]
+    energy: float
+    transmissions: int
+
+    @property
+    def queries(self) -> int:
+        """Queries served."""
+        return len(self.outcomes)
+
+    @property
+    def complete_queries(self) -> int:
+        """Queries answered with every expected cell present."""
+        return sum(1 for o in self.outcomes if o.complete)
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Cache hits over cache lookups across the whole stream."""
+        hits = sum(o.cache_hits for o in self.outcomes)
+        misses = sum(o.cache_misses for o in self.outcomes)
+        return hits / (hits + misses) if hits + misses else 0.0
+
+    def per_tenant(self) -> Dict[int, Dict[str, int]]:
+        """``tenant -> {queries, complete}`` accounting."""
+        out: Dict[int, Dict[str, int]] = {}
+        for o in self.outcomes:
+            row = out.setdefault(o.tenant, {"queries": 0, "complete": 0})
+            row["queries"] += 1
+            row["complete"] += int(o.complete)
+        return out
+
+    def fingerprint(self) -> str:
+        """Stable digest of every deterministic observable of the stream."""
+        return stable_digest(
+            (
+                tuple(o.digest_tuple() for o in self.outcomes),
+                len(self.batches),
+                self.energy,
+                self.transmissions,
+            )
+        )
+
+
+class _ActiveQuery:
+    """In-flight bookkeeping of one admitted query."""
+
+    __slots__ = (
+        "qid", "call", "targets", "querier_node", "received", "radio_cells",
+        "responses", "cache_hits", "cache_misses", "local_hits",
+        "misdirected", "drops", "admitted_at", "last_arrival",
+    )
+
+    def __init__(
+        self,
+        qid: int,
+        call: QueryCall,
+        targets: Tuple[GridCoord, ...],
+        querier_node: Optional[int],
+        admitted_at: float,
+    ):
+        self.qid = qid
+        self.call = call
+        self.targets = targets
+        self.querier_node = querier_node
+        self.received: Dict[GridCoord, Any] = {}
+        self.radio_cells: List[GridCoord] = []
+        self.responses = 0
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self.local_hits = 0
+        self.misdirected = 0
+        self.drops = 0
+        self.admitted_at = admitted_at
+        self.last_arrival = admitted_at
+
+
+class _ServeProcess(TransportProcess):
+    """Per-node transport engine plus the storage/querier roles.
+
+    The process is *role-light*: whether it answers requests depends only
+    on ``stored`` (set by the engine on storage leaders and kept current
+    through :meth:`QueryEngine.update_field`), and responses are handed
+    straight back to the engine, which owns all per-query state — one
+    process set serves every tenant and every query concurrently.
+    """
+
+    def __init__(self, engine: "QueryEngine", stored: Optional[Any] = None):
+        cfg = engine.config
+        super().__init__(
+            engine.stack.topology,
+            engine.stack.binding,
+            reliable=cfg.reliable,
+            max_retries=cfg.max_retries,
+            ack_timeout=cfg.ack_timeout,
+            wire_format=cfg.wire_format,
+        )
+        self.engine = engine
+        self.stored = stored
+
+    def _deliver(self, envelope: TransportEnvelope) -> None:
+        kind, body = envelope.inner
+        if kind == QUERY_REQUEST:
+            qid, querier_cell = body
+            if self.stored is None:
+                # a request reached a leader holding nothing: protocol
+                # routing error, observable per query
+                self.engine._note_misdirected(qid)
+                return
+            # originate() so the reply gets a uid and rides the reliable
+            # transport when enabled
+            self.originate(
+                querier_cell,
+                (QUERY_RESPONSE, (qid, self.my_cell, self.stored)),
+                size_units=self.engine._size_of(self.stored),
+            )
+        elif kind == QUERY_RESPONSE:
+            qid, cell, payload = body
+            self.engine._on_response(self, qid, cell, payload)
+
+    def _drop(self, envelope: TransportEnvelope, reason: str) -> None:
+        super()._drop(envelope, reason)
+        self.engine._note_drop(envelope)
+
+
+class QueryEngine:
+    """A long-lived query-serving instance over a deployed stack.
+
+    Parameters
+    ----------
+    stack:
+        A converged :class:`~repro.runtime.stack.DeployedStack`.
+    storage:
+        ``cell -> stored payload`` at the storage leaders (typically the
+        ``exfiltrated`` map of a partial-reduction application round).
+        Mutable through :meth:`update_field`.
+    config:
+        Engine-lifetime :class:`ServeConfig`.
+
+    The engine builds its simulator/medium/process harness once; every
+    :meth:`run_batch` (and therefore :meth:`query` / :meth:`serve`)
+    advances the same virtual clock.  Determinism contract: given the
+    same stack, storage, config, and call sequence, every observable —
+    outcomes, medium stats, energy ledger, :meth:`fingerprint` — replays
+    byte-identically in any process.
+    """
+
+    def __init__(
+        self,
+        stack: DeployedStack,
+        storage: Optional[Dict[GridCoord, Any]] = None,
+        config: Optional[ServeConfig] = None,
+    ):
+        self.stack = stack
+        self.config = config or ServeConfig()
+        self.stats = EngineStats()
+        self.sim, self.medium, self._host = stack.make_harness(
+            loss_rate=self.config.loss_rate, rng=self.config.rng
+        )
+        self._storage: Dict[GridCoord, Any] = dict(storage or {})
+        self._epoch: Dict[GridCoord, int] = {}
+        # (querier cell, storage cell) -> (epoch at fill time, payload)
+        self._cached: Dict[Tuple[GridCoord, GridCoord], Tuple[int, Any]] = {}
+        self._active: Dict[int, _ActiveQuery] = {}
+        self._next_qid = 0
+        self._outcome_digests: List[Tuple[Any, ...]] = []
+        self._fault_report: Optional[FaultReport] = None
+        self._injected_seen = 0
+        self._procs: Dict[int, _ServeProcess] = {}
+        network = stack.network
+        for nid in network.alive_ids():
+            cell = network.cell_of(nid)
+            stored = (
+                self._storage.get(cell)
+                if stack.binding.leaders.get(cell) == nid
+                else None
+            )
+            proc = _ServeProcess(self, stored=stored)
+            self._procs[nid] = proc
+            self._host.add(nid, proc)
+        self._host.start()
+        self.sim.run_until_quiet()  # drain the boot events; no traffic yet
+
+    # -- storage, freshness, and fault interaction --------------------------------
+
+    @property
+    def storage_cells(self) -> List[GridCoord]:
+        """The currently stored cells, sorted."""
+        return sorted(self._storage)
+
+    def update_field(self, cell: GridCoord, payload: Any) -> None:
+        """Replace the stored payload of ``cell`` and dirty its epoch.
+
+        The new payload lands at the cell's bound leader; every cached
+        copy of the old aggregate becomes stale immediately (epoch
+        mismatch), so the next query over ``cell`` re-fetches it — and
+        only it — over the radio.
+        """
+        self._storage[cell] = payload
+        leader = self.stack.binding.leaders.get(cell)
+        if leader is not None and leader in self._procs:
+            self._procs[leader].stored = payload
+        self.invalidate([cell])
+
+    def invalidate(self, cells: Optional[Sequence[GridCoord]] = None) -> None:
+        """Dirty the freshness epoch of ``cells`` (default: everything)."""
+        for cell in (self._storage if cells is None else cells):
+            self._epoch[cell] = self._epoch.get(cell, 0) + 1
+
+    def arm_faults(self, plan: FaultPlan) -> FaultReport:
+        """Arm a :class:`~repro.runtime.faults.FaultPlan` on the live engine.
+
+        Event times are relative to the current virtual time (the engine
+        clock never resets), so ``time=0.5`` fires half a time unit into
+        the next admission round.  After each round the engine folds the
+        newly fired events into cache freshness: a kill or restore
+        dirties the affected node's cell, so cached aggregates over a
+        faulted cell are re-fetched instead of served stale.
+        """
+        report = self._fault_report or FaultReport()
+        self._fault_report = report
+        injector = FaultInjector(plan, self.stack.network, self.stack.binding, report)
+        injector.arm(self.sim, self.medium)
+        return report
+
+    def _absorb_fault_dirt(self) -> None:
+        """Dirty the cells touched by fault events since the last round."""
+        report = self._fault_report
+        if report is None:
+            return
+        network = self.stack.network
+        for fired_at, action, target in report.injected[self._injected_seen:]:
+            if action == "kill_node":
+                self.invalidate([network.cell_of(int(target))])
+            elif action == "kill_leader":
+                cell, _leader = target
+                self.invalidate([cell])
+            elif action == "restore":
+                _links, node = target
+                if node is not None:
+                    self.invalidate([network.cell_of(int(node))])
+        self._injected_seen = len(report.injected)
+
+    # -- serving -------------------------------------------------------------------
+
+    def query(
+        self,
+        query_cell: GridCoord,
+        cells: Optional[Sequence[GridCoord]] = None,
+        reduce_fn: Optional[Callable[[List[Any]], Any]] = None,
+        tenant: int = 0,
+    ) -> QueryOutcome:
+        """Serve a single query immediately (a batch of one)."""
+        call = QueryCall(
+            query_cell=query_cell,
+            cells=None if cells is None else tuple(cells),
+            reduce_fn=reduce_fn,
+            tenant=tenant,
+        )
+        return self.run_batch([call]).outcomes[0]
+
+    def run_batch(
+        self, calls: Sequence[QueryCall], at: Optional[float] = None
+    ) -> BatchResult:
+        """Serve one admission round: inject every call, run to quiesce.
+
+        ``at`` is the admission time on the engine clock (clamped to
+        ``now``; ``None`` = now).  Queries whose querier leader is dead
+        or unbound are not injected — they complete immediately with
+        every target missing, so a faulted cell degrades one tenant's
+        answers instead of crashing the serving loop.
+        """
+        start = self.sim.now if at is None else max(at, self.sim.now)
+        batch: List[_ActiveQuery] = []
+        network = self.stack.network
+        for call in calls:
+            if call.query_cell not in self.stack.binding.leaders:
+                raise ValueError(f"query cell {call.query_cell} has no bound leader")
+            targets = (
+                call.cells if call.cells is not None
+                else tuple(sorted(self._storage))
+            )
+            leader = self.stack.binding.leaders.get(call.query_cell)
+            querier = (
+                leader
+                if leader is not None
+                and leader in self._procs
+                and network.node(leader).alive
+                else None
+            )
+            qid = self._next_qid
+            self._next_qid += 1
+            active = _ActiveQuery(qid, call, targets, querier, start)
+            self._active[qid] = active
+            batch.append(active)
+        energy0 = self.medium.ledger.total
+        tx0 = self.medium.stats.transmissions
+        drops0 = self.stats.drops
+        if batch:
+            self.sim.schedule_at(start, self._inject_batch, tuple(batch))
+        self.sim.run_until_quiet(max_events=self.config.max_events_per_round)
+        self._absorb_fault_dirt()
+        outcomes = [self._finalize(active, start) for active in batch]
+        self.stats.batches += 1
+        return BatchResult(
+            outcomes=outcomes,
+            admitted_at=start,
+            quiesced_at=self.sim.now,
+            latency=self.sim.now - start,
+            energy=self.medium.ledger.total - energy0,
+            transmissions=self.medium.stats.transmissions - tx0,
+            drops=self.stats.drops - drops0,
+        )
+
+    def serve(
+        self,
+        arrivals: Sequence[Arrival],
+        round_interval: float = 1.0,
+        reduce_fn: Optional[Callable[[List[Any]], Any]] = None,
+    ) -> ServeReport:
+        """Serve a whole arrival stream through admission batching."""
+        energy0 = self.medium.ledger.total
+        tx0 = self.medium.stats.transmissions
+        outcomes: List[QueryOutcome] = []
+        batches: List[BatchResult] = []
+        for admit_time, group in batch_rounds(arrivals, round_interval):
+            calls = [
+                QueryCall(
+                    query_cell=a.query_cell,
+                    cells=a.cells,
+                    reduce_fn=reduce_fn,
+                    tenant=a.tenant,
+                )
+                for a in group
+            ]
+            batch = self.run_batch(calls, at=admit_time)
+            batches.append(batch)
+            outcomes.extend(batch.outcomes)
+        return ServeReport(
+            outcomes=outcomes,
+            batches=batches,
+            energy=self.medium.ledger.total - energy0,
+            transmissions=self.medium.stats.transmissions - tx0,
+        )
+
+    def fingerprint(self) -> str:
+        """Stable digest of the engine's whole serving history."""
+        return stable_digest(
+            (
+                tuple(self._outcome_digests),
+                self.stats.digest_tuple(),
+                self.medium.stats.fingerprint(),
+                self.medium.ledger.fingerprint(),
+                self.sim.now,
+                self.sim.events_processed,
+                None
+                if self._fault_report is None
+                else self._fault_report.fingerprint(),
+            )
+        )
+
+    # -- internals -----------------------------------------------------------------
+
+    def _size_of(self, payload: Any) -> float:
+        sizer = self.config.response_size_of
+        return sizer(payload) if sizer is not None else 1.0
+
+    def _inject_batch(self, batch: Tuple[_ActiveQuery, ...]) -> None:
+        for active in batch:
+            if active.querier_node is None:
+                continue  # dead/unbound querier: finalized as all-missing
+            proc = self._procs[active.querier_node]
+            for cell in active.targets:
+                if cell == active.call.query_cell:
+                    # the querier's own stored payload needs no radio
+                    if proc.stored is not None:
+                        active.received[cell] = proc.stored
+                        active.local_hits += 1
+                        self.stats.local_hits += 1
+                    continue
+                hit = self._cache_lookup(active.call.query_cell, cell)
+                if hit is not None:
+                    active.received[cell] = hit[1]
+                    active.cache_hits += 1
+                    self.stats.cache_hits += 1
+                    continue
+                active.cache_misses += 1
+                self.stats.cache_misses += 1
+                active.radio_cells.append(cell)
+                proc.originate(
+                    cell,
+                    (QUERY_REQUEST, (active.qid, active.call.query_cell)),
+                    size_units=self.config.request_size,
+                )
+
+    def _cache_lookup(
+        self, query_cell: GridCoord, cell: GridCoord
+    ) -> Optional[Tuple[int, Any]]:
+        if not self.config.cache:
+            return None
+        entry = self._cached.get((query_cell, cell))
+        if entry is None or entry[0] != self._epoch.get(cell, 0):
+            return None
+        return entry
+
+    def _on_response(
+        self, proc: _ServeProcess, qid: int, cell: GridCoord, payload: Any
+    ) -> None:
+        active = self._active.get(qid)
+        if active is None or proc.node_id != active.querier_node:
+            # a response that reached the wrong node (or outlived its
+            # query): protocol routing error, never silently reduced
+            self._note_misdirected(qid)
+            return
+        if cell in active.received:
+            return  # duplicate answer (reliable-mode edge); first one wins
+        active.received[cell] = payload
+        active.responses += 1
+        active.last_arrival = proc.now
+        self.stats.responses += 1
+        if self.config.cache:
+            self._cached[(active.call.query_cell, cell)] = (
+                self._epoch.get(cell, 0),
+                payload,
+            )
+
+    def _note_misdirected(self, qid: int) -> None:
+        self.stats.misdirected += 1
+        active = self._active.get(qid)
+        if active is not None:
+            active.misdirected += 1
+
+    def _note_drop(self, envelope: TransportEnvelope) -> None:
+        self.stats.drops += 1
+        inner = envelope.inner
+        if isinstance(inner, tuple) and len(inner) == 2:
+            kind, body = inner
+            if kind in (QUERY_REQUEST, QUERY_RESPONSE):
+                active = self._active.get(body[0])
+                if active is not None:
+                    active.drops += 1
+
+    def _finalize(self, active: _ActiveQuery, admitted_at: float) -> QueryOutcome:
+        del self._active[active.qid]
+        missing = sorted(c for c in active.targets if c not in active.received)
+        payloads = [active.received[c] for c in sorted(active.received)]
+        reduce_fn = active.call.reduce_fn
+        value = reduce_fn(payloads) if reduce_fn is not None else payloads
+        radio_used = bool(active.radio_cells)
+        outcome = QueryOutcome(
+            qid=active.qid,
+            tenant=active.call.tenant,
+            query_cell=active.call.query_cell,
+            value=value,
+            complete=not missing,
+            missing_cells=missing,
+            responses=active.responses,
+            cache_hits=active.cache_hits,
+            cache_misses=active.cache_misses,
+            local_hits=active.local_hits,
+            misdirected=active.misdirected,
+            drops=active.drops,
+            latency=(active.last_arrival - admitted_at) if radio_used else 0.0,
+            admitted_at=admitted_at,
+            completed_at=active.last_arrival if radio_used else admitted_at,
+        )
+        self.stats.queries += 1
+        if not outcome.complete:
+            self.stats.incomplete_queries += 1
+        self._outcome_digests.append(outcome.digest_tuple())
+        return outcome

@@ -1,0 +1,135 @@
+"""CI acceptance matrix for the serving engine.
+
+Run by the ``serve`` CI job via ``python -m repro serve --self-check``:
+builds one small deployment, then asserts the engine's core contracts —
+wrapper/engine answer agreement, warm-cache queries touching zero radio,
+incremental (single-cell) invalidation, completeness reporting under
+loss, and byte-identical fingerprints across repeat runs and across the
+wire codec being on or off.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from .admission import synthesize_arrivals
+from .engine import QueryEngine, ServeConfig
+
+
+def _build_stack(side: int = 4, seed: int = 7):
+    from ..core import CountAggregation, VirtualArchitecture
+    from ..deployment import (
+        CellGrid,
+        Terrain,
+        build_network,
+        ensure_coverage,
+        uniform_random,
+    )
+    from ..runtime.stack import deploy
+
+    terrain = Terrain(100.0)
+    cells = CellGrid(terrain, side)
+    rng = np.random.default_rng(seed)
+    positions = ensure_coverage(uniform_random(140, terrain, rng), cells, rng)
+    net = build_network(positions, cells, tx_range=cells.cell_side * 2.3)
+    stack = deploy(net)
+    va = VirtualArchitecture(side)
+    spec = va.synthesize(CountAggregation(lambda c: True), max_level=1)
+    run = stack.run_application(spec)
+    return stack, dict(run.exfiltrated)
+
+
+def self_check(verbose: bool = True) -> bool:
+    """The serving-engine acceptance matrix; ``True`` iff all checks pass."""
+    from ..runtime.query import run_deployed_query
+
+    def say(msg: str) -> None:
+        if verbose:
+            print(msg)
+
+    failures: List[str] = []
+
+    def check(name: str, cond: bool) -> None:
+        mark = "ok" if cond else "FAIL"
+        say(f"  [{mark}] {name}")
+        if not cond:
+            failures.append(name)
+
+    stack, storage = _build_stack()
+    query_cell = (3, 3)
+
+    say("serve: wrapper vs engine answer agreement")
+    wrapped = run_deployed_query(stack, storage, query_cell, reduce_fn=len)
+    engine = QueryEngine(stack, storage)
+    direct = engine.query(query_cell, reduce_fn=len)
+    check("wrapper and engine agree", wrapped.value == direct.value)
+    check("wrapper reports complete", wrapped.complete and not wrapped.missing_cells)
+
+    say("serve: warm cache serves without the radio")
+    tx_before = engine.medium.stats.transmissions  # cache warmed by `direct`
+    warm = engine.query(query_cell, reduce_fn=len)
+    check("warm value matches cold", warm.value == direct.value)
+    check("warm round is radio-silent", engine.medium.stats.transmissions == tx_before)
+    check("warm round hits cache everywhere", warm.cache_misses == 0 and warm.cache_hits > 0)
+    check("engine hit rate positive", engine.stats.hit_rate > 0.0)
+
+    say("serve: update_field invalidates exactly one cell")
+    dirty = engine.storage_cells[0]
+    engine.update_field(dirty, 99)
+    refetch = engine.query(query_cell, reduce_fn=None)
+    check("only the dirtied cell re-fetches", refetch.cache_misses == 1)
+    check("refreshed payload served", 99 in refetch.value)
+
+    say("serve: admission stream, determinism, wire invariance")
+    cells = sorted(stack.binding.leaders)
+    arrivals = synthesize_arrivals(cells, n_queries=12, seed=5, tenants=3)
+
+    def serve_once(wire: bool) -> Tuple[str, str, float]:
+        eng = QueryEngine(
+            stack,
+            storage,
+            ServeConfig(
+                loss_rate=0.1,
+                rng=np.random.default_rng(11),
+                reliable=True,
+                wire_format=wire,
+            ),
+        )
+        report = eng.serve(arrivals, round_interval=2.0, reduce_fn=len)
+        return eng.fingerprint(), report.fingerprint(), report.cache_hit_rate
+
+    a, b = serve_once(False), serve_once(False)
+    check("same-seed serving fingerprints identical", a == b)
+    wired = serve_once(True)
+    check("wire on/off fingerprints identical", a == wired)
+    check("stream warms the cache", a[2] > 0.0)
+
+    say("serve: completeness accounting under loss")
+    lossy = QueryEngine(
+        stack,
+        storage,
+        ServeConfig(loss_rate=0.6, rng=np.random.default_rng(2), cache=False),
+    )
+    degraded = lossy.query(query_cell, reduce_fn=len)
+    check(
+        "losses reported, never silently reduced",
+        degraded.complete or len(degraded.missing_cells) > 0,
+    )
+    check("lossy run actually lost something", not degraded.complete)
+    reliable = QueryEngine(
+        stack,
+        storage,
+        ServeConfig(
+            loss_rate=0.25, rng=np.random.default_rng(3), reliable=True, cache=False
+        ),
+    )
+    recovered = reliable.query(query_cell, reduce_fn=len)
+    check("reliable transport restores completeness", recovered.complete)
+
+    if failures:
+        say(f"serve self-check: {len(failures)} FAILURES")
+        return False
+    say("serve self-check: all checks passed")
+    return True

@@ -21,6 +21,10 @@ Registered workloads:
             leaders (plus optional ``node_churn`` random nodes), run the
             Section 5.1 recovery path, optionally rotate leaders, and
             re-run the application on the recovered stack.
+``serve``   persistent query serving: one :class:`repro.serve.QueryEngine`
+            answers a seed-deterministic arrival stream over the deployed
+            stack, with optional mid-stream field updates exercising
+            epoch-based cache invalidation.
 
 Names starting with ``_`` are internal fault-injection workloads used by
 the scheduler's own tests.
@@ -332,6 +336,90 @@ def leader_churn(params: Dict[str, Any], seed: int) -> WorkloadOutcome:
             metrics["midrun_failovers"] = float(len(report.failovers))
             fp_parts.extend([plan.fingerprint(), report.fingerprint()])
     return WorkloadOutcome(metrics=metrics, fingerprint=stable_digest(tuple(fp_parts)))
+
+
+@workload("serve")
+def query_serving(params: Dict[str, Any], seed: int) -> WorkloadOutcome:
+    """Persistent query serving over one deployed stack.
+
+    Builds the deployment, populates level-1 distributed storage with one
+    gathering round, then brings up a :class:`repro.serve.QueryEngine`
+    and serves ``n_queries`` synthesized arrivals through admission
+    batching.  ``updates`` > 0 splits the stream in half and mutates that
+    many storage cells between the halves, so the sweep measures the
+    cache's incremental-invalidation regime, not just all-hit/all-miss.
+    The fingerprint folds the engine's full serving history, making
+    serial-vs-sharded and wire-on/off equivalence checkable.
+    """
+    from ..serve import QueryEngine, ServeConfig, synthesize_arrivals
+
+    side = int(params.get("side", 4))
+    n_random = int(params.get("n_random", side * side * 8))
+    n_queries = int(params.get("n_queries", 16))
+    tenants = int(params.get("tenants", 2))
+    updates = int(params.get("updates", 0))
+    loss = float(params.get("loss", 0.0))
+    wire = bool(params.get("wire", False))
+    reliable = bool(params.get("reliable", loss > 0.0))
+    cache = bool(params.get("cache", True))
+    mean_interarrival = float(params.get("mean_interarrival", 1.0))
+    round_interval = float(params.get("round_interval", 2.0))
+    net = _make_deployment(side, n_random, seed)
+    stack = deploy(net)
+    va = VirtualArchitecture(side)
+    gather = stack.run_application(
+        va.synthesize(CountAggregation(lambda c: True), max_level=1)
+    )
+    engine = QueryEngine(
+        stack,
+        storage=dict(gather.exfiltrated),
+        config=ServeConfig(
+            loss_rate=loss,
+            rng=np.random.default_rng(seed),
+            reliable=reliable,
+            wire_format=wire,
+            cache=cache,
+        ),
+    )
+    arrivals = synthesize_arrivals(
+        sorted(stack.binding.leaders),
+        n_queries,
+        seed=seed,
+        mean_interarrival=mean_interarrival,
+        tenants=tenants,
+    )
+    split = len(arrivals) // 2 if updates > 0 else len(arrivals)
+    t0 = time.perf_counter()
+    first = engine.serve(arrivals[:split], round_interval, reduce_fn=sum)
+    for i, cell in enumerate(engine.storage_cells[:updates]):
+        engine.update_field(cell, seed + i)
+    second = engine.serve(arrivals[split:], round_interval, reduce_fn=sum)
+    wall = time.perf_counter() - t0
+    outcomes = first.outcomes + second.outcomes
+    hits = sum(o.cache_hits for o in outcomes)
+    misses = sum(o.cache_misses for o in outcomes)
+    queries = len(outcomes)
+    return WorkloadOutcome(
+        metrics={
+            "queries": float(queries),
+            "complete_queries": float(
+                first.complete_queries + second.complete_queries
+            ),
+            "rounds": float(len(first.batches) + len(second.batches)),
+            "cache_hits": float(hits),
+            "cache_misses": float(misses),
+            "cache_hit_rate": hits / (hits + misses) if hits + misses else 0.0,
+            "transmissions": float(first.transmissions + second.transmissions),
+            "energy": first.energy + second.energy,
+            "misdirected": float(engine.stats.misdirected),
+            "events_processed": float(engine.sim.events_processed),
+            "wall_s": wall,
+            "queries_per_s": queries / wall if wall > 0 else 0.0,
+        },
+        fingerprint=stable_digest(
+            (engine.fingerprint(), first.fingerprint(), second.fingerprint())
+        ),
+    )
 
 
 @workload("timer_storm")

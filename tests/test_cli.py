@@ -42,3 +42,16 @@ class TestCli:
         out = capsys.readouterr().out
         assert "e1" in out
         assert "storm" in out
+
+    def test_serve_subcommand_runs_demo(self, capsys):
+        assert main(["serve", "4", "6"]) == 0
+        out = capsys.readouterr().out
+        assert "deployed stack" in out
+        assert "served 6 queries (6 complete)" in out
+        assert "engine fingerprint" in out
+
+    def test_serve_demo_is_deterministic(self, capsys):
+        assert main(["serve", "4", "6"]) == 0
+        first = capsys.readouterr().out
+        assert main(["serve", "4", "6"]) == 0
+        assert capsys.readouterr().out == first

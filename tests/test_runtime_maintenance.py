@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import math
+
 import numpy as np
 import pytest
 
@@ -23,8 +25,38 @@ class TestFailureInjection:
         net = make_deployment(side=4, n_random=200, seed=3)
         n_alive = len(net.alive_ids())
         killed = kill_random_nodes(net, 0.25, rng=1)
-        assert len(killed) == round(0.25 * n_alive)
+        assert len(killed) == math.floor(0.25 * n_alive + 0.5)
         assert all(not net.node(k).alive for k in killed)
+
+    @pytest.mark.parametrize(
+        "fraction,n,expected",
+        [
+            # round-half-up at every .5 boundary — the seed used round(),
+            # whose banker's rounding gave 1.5 -> 2 but 2.5 -> 2
+            (0.15, 10, 2),
+            (0.25, 10, 3),
+            (0.35, 10, 4),
+            (0.5, 5, 3),
+            (0.0, 10, 0),
+            (1.0, 10, 10),
+        ],
+    )
+    def test_kill_count_rounds_half_up(self, fraction, n, expected):
+        net = make_deployment(side=4, n_random=200, seed=3)
+        spare = net.alive_ids()[n:]  # leave exactly n candidates
+        killed = kill_random_nodes(net, fraction, rng=1, spare=spare)
+        assert len(killed) == expected
+
+    def test_kill_count_monotonic_in_fraction(self):
+        counts = []
+        for fraction in np.linspace(0.0, 1.0, 41):
+            net = make_deployment(side=4, n_random=200, seed=3)
+            spare = net.alive_ids()[10:]
+            counts.append(len(kill_random_nodes(net, float(fraction), rng=1,
+                                                spare=spare)))
+        assert counts == sorted(counts), (
+            f"victim count not monotonic in fraction: {counts}"
+        )
 
     def test_kill_respects_spare(self):
         net = make_deployment(side=4, n_random=100, seed=3)

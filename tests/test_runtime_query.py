@@ -138,3 +138,75 @@ class TestDeployedQueries:
             reliable=True,
         )
         assert result.value == len(storage)  # every response got through
+        assert result.complete
+        assert result.missing_cells == []
+
+
+class TestCompletenessAccounting:
+    """Regression: the seed silently reduced over partial answers."""
+
+    def test_clean_run_reports_complete(self, stack_with_storage):
+        _, stack, _, storage = stack_with_storage
+        result = run_deployed_query(
+            stack, {cell: 1 for cell in storage}, query_cell=(3, 3),
+            reduce_fn=sum,
+        )
+        assert result.complete
+        assert result.missing_cells == []
+        assert result.misdirected == 0
+
+    def test_lossy_partial_answer_reported_incomplete(self, stack_with_storage):
+        """The silent-partial-answer bug: under forced loss the reducer
+        used to run over whatever arrived, with ``expected_responses``
+        stored but never consulted.  The seeded run below loses at least
+        one response; the result must say so."""
+        _, stack, _, storage = stack_with_storage
+        result = run_deployed_query(
+            stack,
+            {cell: 1 for cell in storage},
+            query_cell=(3, 0),
+            reduce_fn=sum,
+            loss_rate=0.6,
+            rng=np.random.default_rng(2),
+        )
+        assert result.value < len(storage), "seed no longer forces a loss"
+        assert not result.complete
+        assert result.missing_cells, "lost cells must be enumerated"
+        assert set(result.missing_cells) <= set(storage)
+        assert result.value + len(result.missing_cells) == len(storage)
+
+    def test_missing_cells_name_exactly_the_silent_cells(
+        self, stack_with_storage
+    ):
+        _, stack, _, storage = stack_with_storage
+        result = run_deployed_query(
+            stack,
+            {cell: cell for cell in storage},  # payload identifies its cell
+            query_cell=(3, 0),
+            reduce_fn=list,
+            loss_rate=0.6,
+            rng=np.random.default_rng(2),
+        )
+        answered = set(result.value)
+        assert set(result.missing_cells) == set(storage) - answered
+
+
+class TestMisdirectedAccounting:
+    """Regression: ``misdirected`` was counted internally, then dropped."""
+
+    def test_request_to_empty_leader_counts_misdirected(
+        self, stack_with_storage
+    ):
+        _, stack, _, storage = stack_with_storage
+        cells = sorted(storage)
+        # one "storage" cell whose leader holds nothing: the request is
+        # delivered to a leader that cannot answer — a protocol routing
+        # error that used to vanish
+        bogus = {cells[0]: 1, cells[1]: None}
+        result = run_deployed_query(
+            stack, bogus, query_cell=(3, 3), reduce_fn=sum
+        )
+        assert result.misdirected == 1
+        assert not result.complete
+        assert result.missing_cells == [cells[1]]
+        assert result.value == 1

@@ -223,4 +223,5 @@ class TestRetransmissionHopAccounting:
         stats = next(iter(host.processes.values())).transport_stats()
         assert set(stats) == {
             "forwarded", "drops", "retransmissions", "duplicates_suppressed",
+            "rejected_frames",
         }
