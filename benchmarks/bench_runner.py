@@ -8,6 +8,11 @@ Examples::
     PYTHONPATH=src python benchmarks/bench_runner.py --check        # < 60 s gate
     PYTHONPATH=src python benchmarks/bench_runner.py --workers 4    # E1 suite
                                   # sharded across 4 repro.sweep workers
+    PYTHONPATH=src python benchmarks/bench_runner.py --profile      # cProfile
+                                  # the measurement phase; the pstats dump
+                                  # lands next to the BENCH_*.json artifacts
+
+``python -m repro bench ...`` is the same entry point with the same flags.
 
 Larger ad-hoc parameter sweeps (grids over side / loss / jitter / churn /
 threshold, replicated seeds, multi-core shards, JSONL results) belong to

@@ -16,6 +16,16 @@ and wire on/off) asserting determinism and recovery — the CI
 small deployment and serves a synthesized arrival stream, printing the
 per-round cache/radio accounting; ``--self-check`` runs the serving
 acceptance matrix instead (the CI ``serve`` job).
+
+``python -m repro partition`` runs one seeded broadcast storm serially
+and space-partitioned (DESIGN.md §12) and prints the matching
+fingerprints plus the wall-clock split; ``--self-check`` runs the
+partitioned-simulator acceptance matrix instead (the CI ``partition``
+job).
+
+``python -m repro bench ...`` forwards to the perf-regression harness
+(:mod:`repro.bench`), flags included — ``--check``, ``--workers N``,
+``--profile``.
 """
 
 from __future__ import annotations
@@ -93,6 +103,52 @@ def _serve_demo(args: list[str]) -> int:
     return 0 if report.complete_queries == report.queries else 1
 
 
+def _partition_demo(args: list[str]) -> int:
+    """``python -m repro partition [side] [K] [--self-check]``."""
+    from .partition import self_check
+
+    if "--self-check" in args:
+        return 0 if self_check() else 1
+
+    import time
+
+    import numpy as np
+
+    from .bench import make_deployment
+    from .partition import effective_procs, run_partitioned_storm
+
+    positional = [a for a in args if not a.startswith("-")]
+    side = int(positional[0]) if positional else 16
+    partitions = int(positional[1]) if len(positional) > 1 else 4
+    seed = 11
+    net = make_deployment(side=side, n_random=side * side * 6, seed=seed)
+    budget = effective_procs(partitions)
+    print(f"deployment           : {side}x{side} cells, {len(net)} nodes")
+    print(f"partitions           : {partitions} shards on {budget.procs} "
+          f"worker processes (cpu budget {budget.cpu_budget})")
+    t0 = time.perf_counter()
+    serial = run_partitioned_storm(
+        net, rounds=4, partitions=1, rng=np.random.default_rng(seed)
+    )
+    serial_wall = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    parallel = run_partitioned_storm(
+        net, rounds=4, partitions=partitions, procs=budget.procs,
+        rng=np.random.default_rng(seed),
+    )
+    parallel_wall = time.perf_counter() - t0
+    print(f"serial               : {serial.deliveries} deliveries, "
+          f"{serial.events_processed} events, {serial_wall:.2f}s, "
+          f"fingerprint {serial.fingerprint}")
+    print(f"partitioned (K={partitions})    : {parallel.deliveries} deliveries, "
+          f"{parallel.events_processed} events, {parallel.windows} windows, "
+          f"{parallel_wall:.2f}s, fingerprint {parallel.fingerprint}")
+    match = parallel.fingerprint == serial.fingerprint
+    print(f"serial == partitioned: {'MATCH' if match else 'MISMATCH'} "
+          f"({serial_wall / parallel_wall:.2f}x)")
+    return 0 if match else 1
+
+
 def main(argv: list[str] | None = None) -> int:
     """Run the demo; returns a process exit code."""
     args = list(sys.argv[1:] if argv is None else argv)
@@ -109,6 +165,12 @@ def main(argv: list[str] | None = None) -> int:
         return 0 if self_check() else 1
     if args and args[0] == "serve":
         return _serve_demo(args[1:])
+    if args and args[0] == "partition":
+        return _partition_demo(args[1:])
+    if args and args[0] == "bench":
+        from .bench import main as bench_main
+
+        return bench_main(args[1:])
     side = int(args[0]) if args else 16
     threshold = float(args[1]) if len(args) > 1 else 0.5
     # side <= 0 must not slip through: 0 & -1 == 0 passes the bit trick

@@ -1,0 +1,250 @@
+"""Acceptance matrix for the space-partitioned simulator (DESIGN.md §12).
+
+Run by the ``partition`` CI job via ``python -m repro partition
+--self-check``.  Everything here pins the subsystem's one non-negotiable
+invariant — **serial == partitioned fingerprints for every seeded
+configuration** — plus the operational properties around it:
+
+* K = 1 through the partition entry points is byte-identical to the
+  legacy single-simulator run (same RNG stream, same counters);
+* for K in {2, 4}: in-process serial shard execution == real
+  worker-process execution, across loss / wire / jitter regimes, with a
+  worker pool smaller than K (shard multiplexing) included;
+* a fault plan whose kill lands on a shard-boundary cell replays
+  identically and records its failover exactly once;
+* a quiet-border topology (transmission range below the stripe width,
+  so shards exchange no boundary traffic) terminates under the
+  wall-clock watchdog instead of deadlocking on null messages;
+* nested-parallelism clamping: the sweep-worker budget shrinks the
+  worker pool, never the shard count, and daemonic callers are pinned
+  to one in-process worker.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+from typing import Any, List, Tuple
+
+import numpy as np
+
+from .plan import plan_stripes
+from .runner import (
+    SWEEP_WORKERS_ENV,
+    effective_procs,
+    run_partitioned_application,
+    run_partitioned_storm,
+)
+
+
+def _count_all(cell: Any) -> bool:
+    """Module-level predicate: the program spec is pickled into shards."""
+    return True
+
+
+def _build(side: int, n_random: int, seed: int, range_cells: float = 2.3):
+    from ..deployment import (
+        CellGrid,
+        Terrain,
+        build_network,
+        ensure_coverage,
+        uniform_random,
+    )
+
+    terrain = Terrain(100.0)
+    cells = CellGrid(terrain, side)
+    rng = np.random.default_rng(seed)
+    positions = ensure_coverage(uniform_random(n_random, terrain, rng), cells, rng)
+    return build_network(positions, cells, tx_range=cells.cell_side * range_cells)
+
+
+def _result_fingerprint(result) -> Tuple[Any, ...]:
+    report = result.fault_report
+    return (
+        result.ledger.fingerprint(),
+        result.transmissions,
+        result.drops,
+        result.latency,
+        result.events_processed,
+        # exfiltrated rather than root_payload: a lossy round may
+        # legitimately exhaust its retries without completing
+        tuple(sorted((str(k), v) for k, v in result.exfiltrated.items())),
+        None
+        if report is None
+        else (
+            tuple(report.injected),
+            tuple(report.failovers),
+            report.reroutes,
+            report.frames_corrupted,
+            report.frames_rejected,
+        ),
+    )
+
+
+def _app_run(
+    side: int,
+    seed: int,
+    partitions: int,
+    procs: int,
+    loss: float = 0.0,
+    wire: bool = False,
+    plan=None,
+) -> Tuple[Any, ...]:
+    from ..core import CountAggregation, VirtualArchitecture
+    from ..runtime import deploy
+
+    net = _build(side, side * side * 7, seed)
+    stack = deploy(net)
+    spec = VirtualArchitecture(side).synthesize(CountAggregation(_count_all))
+    reliable = loss > 0.0 or plan is not None
+    if partitions == 1:
+        # the legacy path: run_application only branches on partitions > 1
+        result = stack.run_application(
+            spec, loss_rate=loss, rng=np.random.default_rng(seed + 1),
+            reliable=reliable, max_retries=8, wire_format=wire, fault_plan=plan,
+        )
+    else:
+        result = run_partitioned_application(
+            stack, spec, partitions=partitions, procs=procs, loss_rate=loss,
+            rng=np.random.default_rng(seed + 1), reliable=reliable,
+            max_retries=8, wire_format=wire, fault_plan=plan,
+            wall_timeout_s=120.0,
+        )
+    return _result_fingerprint(result)
+
+
+def self_check(verbose: bool = True) -> bool:
+    """The acceptance matrix; returns False (after running everything)
+    if any check failed."""
+
+    def say(msg: str) -> None:
+        if verbose:
+            print(msg)
+
+    failures: List[str] = []
+
+    def check(name: str, cond: bool) -> None:
+        mark = "ok" if cond else "FAIL"
+        say(f"  [{mark}] {name}")
+        if not cond:
+            failures.append(name)
+
+    side, seed = 8, 11
+
+    say("partition: K=1 byte-identity with the legacy simulator")
+    legacy = _app_run(side, seed, partitions=1, procs=1)
+    via_k1 = _result_fingerprint(
+        run_partitioned_application(
+            _deployed_stack(side, seed), _count_spec(side), partitions=1,
+            procs=1, rng=np.random.default_rng(seed + 1),
+        )
+    )
+    check("K=1 run_partitioned_application == legacy run_application",
+          via_k1 == legacy)
+
+    say("partition: serial == worker-process shards across regimes")
+    for partitions in (2, 4):
+        for loss, wire in ((0.0, False), (0.15, True)):
+            serial = _app_run(side, seed, partitions, procs=1,
+                              loss=loss, wire=wire)
+            parallel = _app_run(side, seed, partitions, procs=partitions,
+                                loss=loss, wire=wire)
+            check(
+                f"K={partitions} loss={loss} wire={wire} serial == partitioned",
+                serial == parallel,
+            )
+    multiplexed = _app_run(side, seed, 4, procs=3, loss=0.15, wire=True)
+    check("K=4 on 3 multiplexed workers == serial",
+          multiplexed == _app_run(side, seed, 4, procs=1, loss=0.15, wire=True))
+
+    say("partition: fault kill on a shard-boundary cell")
+    stack = _deployed_stack(side, seed)
+    boundary = sorted(plan_stripes(stack.network, 4).boundary_cells)
+    target = next(c for c in boundary if c in stack.binding.leaders)
+    plan = _kill_plan(stack, target)
+    serial = _app_run(side, seed, 4, procs=1, loss=0.05, wire=True, plan=plan)
+    parallel = _app_run(side, seed, 4, procs=4, loss=0.05, wire=True, plan=plan)
+    check("boundary-cell kill_leader serial == partitioned", serial == parallel)
+    report = serial[-1]
+    check("boundary failover recorded exactly once",
+          report is not None and len(report[1]) == 1)
+
+    say("partition: quiet-border topology terminates under the watchdog")
+    quiet = _build(side, side * side * 7, seed, range_cells=0.9)
+    serial_storm = run_partitioned_storm(
+        quiet, rounds=4, partitions=1, rng=np.random.default_rng(seed)
+    )
+    parallel_storm = run_partitioned_storm(
+        quiet, rounds=4, partitions=4, procs=4,
+        rng=np.random.default_rng(seed), wall_timeout_s=60.0,
+    )
+    check("quiet-border storm completed with matching fingerprints",
+          parallel_storm.fingerprint == serial_storm.fingerprint)
+    check("quiet-border storm advanced in windows", parallel_storm.windows > 0)
+
+    say("partition: nested-parallelism clamping")
+    prior = os.environ.get(SWEEP_WORKERS_ENV)
+    try:
+        os.environ[SWEEP_WORKERS_ENV] = str(4 * (os.cpu_count() or 1))
+        budget = effective_procs(4)
+        check("sweep budget clamps auto procs to 1",
+              budget.procs == 1 and budget.clamped)
+        check("explicit procs override ignores the cpu budget",
+              effective_procs(4, procs=2).procs == 2)
+    finally:
+        if prior is None:
+            os.environ.pop(SWEEP_WORKERS_ENV, None)
+        else:
+            os.environ[SWEEP_WORKERS_ENV] = prior
+    check("procs never exceeds the shard count",
+          effective_procs(2, procs=8).procs == 2)
+    daemon_probe = mp.get_context("fork").Pool(1)
+    try:
+        check("daemonic callers are pinned to one in-process worker",
+              daemon_probe.apply(_daemon_budget) == 1)
+    finally:
+        daemon_probe.terminate()
+        daemon_probe.join()
+
+    say("partition: shard-plan validation")
+    net = _build(side, side * side * 7, seed)
+    check("side not divisible by K is rejected", _raises(net, 3))
+    check("K above side is rejected", _raises(net, side + 1))
+
+    if failures:
+        say(f"partition self-check: {len(failures)} FAILED: {failures}")
+        return False
+    say("partition self-check: all checks passed")
+    return True
+
+
+def _deployed_stack(side: int, seed: int):
+    from ..runtime import deploy
+
+    return deploy(_build(side, side * side * 7, seed))
+
+
+def _count_spec(side: int):
+    from ..core import CountAggregation, VirtualArchitecture
+
+    return VirtualArchitecture(side).synthesize(CountAggregation(_count_all))
+
+
+def _kill_plan(stack, cell):
+    from ..runtime.faults import FaultEvent, FaultPlan
+
+    return FaultPlan(
+        events=(FaultEvent(time=0.5, action="kill_leader", cell=cell),)
+    )
+
+
+def _daemon_budget(_arg: Any = None) -> int:
+    return effective_procs(4, procs=4).procs
+
+
+def _raises(net, partitions: int) -> bool:
+    try:
+        plan_stripes(net, partitions)
+    except ValueError:
+        return True
+    return False

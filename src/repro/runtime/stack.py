@@ -28,7 +28,7 @@ from ..core.program import EXFILTRATE, SEND, Effect, Message, NodeProgram
 from ..core.synthesis import SynthesizedProgram
 from ..deployment.topology import RealNetwork
 from ..simulator.engine import Simulator
-from ..simulator.network import WirelessMedium
+from ..simulator.network import PartitionSlice, WirelessMedium
 from ..simulator.process import ProcessHost
 from .binding import Binding, BindingResult, Metric, bind_processes, distance_to_center_metric
 from .faults import FaultInjector, FaultPlan, FaultReport, HealingConfig
@@ -212,6 +212,8 @@ class DeployedStack:
         self,
         loss_rate: float = 0.0,
         rng: "np.random.Generator | int | None" = None,
+        jitter: float = 0.0,
+        partition: "Optional[PartitionSlice]" = None,
     ) -> Tuple[Simulator, WirelessMedium, ProcessHost]:
         """A fresh simulator/medium/host triple over this deployment.
 
@@ -220,12 +222,19 @@ class DeployedStack:
         (:class:`~repro.serve.engine.QueryEngine`, which keeps one harness
         alive across queries) — builds its radio world through here, so
         medium wiring and cost accounting stay identical everywhere.
+
+        ``partition`` is the space-partitioned construction path
+        (``repro.partition``): the medium then owns only the slice's
+        nodes, diverting boundary-crossing deliveries into egress records
+        for the shard runner to exchange at window barriers.
         """
         sim = Simulator()
         medium = WirelessMedium(
             sim, self.network, cost_model=self.cost_model,
-            loss_rate=loss_rate, rng=rng,
+            loss_rate=loss_rate, rng=rng, jitter=jitter,
         )
+        if partition is not None:
+            medium.configure_partition(partition)
         return sim, medium, ProcessHost(sim, medium)
 
     def run_application(
@@ -242,6 +251,8 @@ class DeployedStack:
         backoff_jitter: float = 0.5,
         fault_plan: Optional[FaultPlan] = None,
         healing: Optional[HealingConfig] = None,
+        partitions: int = 1,
+        partition_procs: Optional[int] = None,
     ) -> DeployedRunResult:
         """Execute one round of the synthesized application.
 
@@ -263,7 +274,35 @@ class DeployedStack:
         injecting anything).  The returned result then carries a
         :class:`~repro.runtime.faults.FaultReport` and folds it into
         :meth:`DeployedRunResult.fingerprint`.
+
+        ``partitions=K`` (K > 1) hands the round to the space-partitioned
+        runner (:mod:`repro.partition`): K cell-aligned shards advanced
+        under conservative lookahead on up to ``partition_procs`` worker
+        processes.  K is part of the seeded configuration (per-shard RNG
+        streams); the worker count is a pure perf knob — fingerprints are
+        identical for any ``partition_procs``, and ``partitions=1`` is
+        byte-identical to this legacy path.
         """
+        if partitions > 1:
+            from ..partition import run_partitioned_application
+
+            return run_partitioned_application(
+                self,
+                spec,
+                partitions=partitions,
+                procs=partition_procs,
+                loss_rate=loss_rate,
+                rng=rng,
+                max_events=max_events,
+                reliable=reliable,
+                max_retries=max_retries,
+                ack_timeout=ack_timeout,
+                wire_format=wire_format,
+                backoff_factor=backoff_factor,
+                backoff_jitter=backoff_jitter,
+                fault_plan=fault_plan,
+                healing=healing,
+            )
         side = self.network.cells.cells_per_side
         grid = spec.groups.grid
         if (grid.width, grid.height) != (side, side):

@@ -223,6 +223,92 @@ class Simulator:
             self._events_processed += fired
         return self._now
 
+    def next_event_time(self) -> Optional[float]:
+        """Timestamp of the earliest queued heap entry (None if empty).
+
+        Cancelled/stale entries are *included*, so the value is a lower
+        bound on the next live event's time — exactly what a conservative
+        lookahead scheduler needs: under-estimating only costs an extra
+        (empty) synchronization window, never a causality violation.
+        """
+        return self._queue[0][0] if self._queue else None
+
+    def run_until_lookahead(
+        self, horizon: float, max_events: Optional[int] = None
+    ) -> int:
+        """Drain events with ``time <= horizon``; returns the number fired.
+
+        The partitioned simulator's window drain (DESIGN.md §12).  Unlike
+        :meth:`run`, the clock is **not** advanced to ``horizon`` when the
+        queue runs dry — it stays at the last fired event, so (a) the
+        merged run's latency is the true last-event time, and (b) events
+        injected by a neighbouring shard at any time in ``(now, horizon]``
+        remain schedulable between windows.  Repeated calls with a
+        monotone ``horizon`` sequence process exactly the events a single
+        :meth:`run` would, in the same order.
+        """
+        if self._running:
+            raise RuntimeError("simulator is not reentrant")
+        if horizon < self._now:
+            raise ValueError(
+                f"cannot run backward (now={self._now}, horizon={horizon})"
+            )
+        self._running = True
+        fired = 0
+        queue = self._queue
+        heappop = heapq.heappop
+        try:
+            while queue:
+                time, _, handle, callback, args = queue[0]
+                if time > horizon:
+                    break
+                heappop(queue)
+                if handle is not None:
+                    if handle is _TIMER:
+                        armed, key, stamp, tag = args
+                        if armed.get(key) != stamp:
+                            self._cancelled_pending -= 1
+                            continue
+                        del armed[key]
+                        self._now = time
+                        callback(tag)
+                        fired += 1
+                        if max_events is not None and fired >= max_events:
+                            break
+                        continue
+                    if handle.cancelled:
+                        self._cancelled_pending -= 1
+                        continue
+                    handle.sim = None
+                self._now = time
+                if args:
+                    callback(*args)
+                else:
+                    callback()
+                fired += 1
+                if max_events is not None and fired >= max_events:
+                    break
+        finally:
+            self._running = False
+            self._events_processed += fired
+        return fired
+
+    def inject_at(self, time: float, callback: Callable[..., None], *args: Any) -> None:
+        """Externally-fed event injection at absolute ``time`` (>= now).
+
+        The cross-shard delivery path of the partitioned simulator: a
+        boundary packet handed over at a window barrier is scheduled here
+        at its exact arrival time.  ``time == now`` is allowed (an arrival
+        landing exactly on a window edge fires at the correct virtual time
+        in the next window); like the fire-and-forget path, no handle is
+        allocated and the event cannot be cancelled.
+        """
+        if time < self._now:
+            raise ValueError(
+                f"cannot inject in the past (now={self._now}, time={time})"
+            )
+        heapq.heappush(self._queue, (time, next(self._seq), None, callback, args))
+
     def run_until_quiet(self, max_events: int = 10_000_000) -> float:
         """Drain every event; raise if the budget is exceeded (an
         accidental livelock in a protocol under test)."""

@@ -31,6 +31,24 @@ from .engine import Simulator
 from .trace import MediumStats
 
 
+@dataclass(frozen=True)
+class PartitionSlice:
+    """A medium's view of one shard of a space-partitioned run.
+
+    ``local`` is the set of node ids this shard owns (their processes and
+    deliveries run here); ``shard_of`` maps every node in the deployment
+    to its owning shard.  ``lookahead`` is the conservative bound: every
+    cross-shard delivery must arrive at least this far after its
+    transmission, which the medium *verifies* at egress time rather than
+    assumes (DESIGN.md §12).
+    """
+
+    shard_id: int
+    local: "frozenset[int]"
+    shard_of: Dict[int, int]
+    lookahead: float
+
+
 @dataclass
 class Packet:
     """One radio packet.
@@ -113,6 +131,156 @@ class WirelessMedium:
         # optional in-flight frame mangler (fault injection): called with
         # each outgoing Packet, returns the packet to actually deliver
         self.tx_transform: Optional[Callable[[Packet], Packet]] = None
+        # space partitioning (repro.partition): None = whole-world medium
+        self._partition: Optional[PartitionSlice] = None
+        self._egress: List["tuple[int, float, int, int, Packet, tuple[int, ...]]"] = []
+        self._emit_seq = 0
+        # events a single-simulator run would NOT have fired: broadcast
+        # buckets split across shards, plus non-owned fault firings.  The
+        # merged run subtracts this so events_processed is K-invariant.
+        self.partition_overhead = 0
+
+    # -- space partitioning (repro.partition) -------------------------------------
+
+    def configure_partition(self, part: PartitionSlice) -> None:
+        """Attach this medium to one shard of a partitioned run.
+
+        From here on, deliveries to nodes outside ``part.local`` are not
+        scheduled on the local simulator; they are buffered as egress
+        records (drained at each window barrier) carrying the packet, its
+        absolute arrival time, and the receiver group — the shard runner
+        routes them to the owning shard, which injects them via
+        :meth:`inject_boundary`.
+        """
+        if not self.batch_fanout:
+            raise ValueError("partitioned media require batch_fanout=True")
+        if part.lookahead <= 0:
+            raise ValueError("lookahead must be positive")
+        self._partition = part
+
+    def drain_egress(self) -> List["tuple[int, float, int, int, Packet, tuple[int, ...]]"]:
+        """Hand over (and clear) the boundary-crossing deliveries buffered
+        since the last window barrier.
+
+        Records are ``(dst_shard, arrival_time, src_shard, emit_seq,
+        packet, receivers)``; ``emit_seq`` is a per-shard monotone counter
+        so the receiving shard can order same-timestamp injections from
+        one source deterministically.
+        """
+        out = self._egress
+        self._egress = []
+        return out
+
+    def inject_boundary(
+        self, time: float, packet: Packet, receivers: "tuple[int, ...]"
+    ) -> None:
+        """Schedule a boundary arrival handed over by a neighbour shard.
+
+        ``time`` is absolute; the conservative window protocol guarantees
+        ``time >= sim.now`` (arrivals land at or beyond the current window
+        edge), so :meth:`Simulator.inject_at` never rejects.
+        """
+        if len(receivers) == 1:
+            self.sim.inject_at(time, self._arrive, packet, receivers[0])
+        else:
+            self.sim.inject_at(time, self._arrive_many, packet, list(receivers))
+
+    def _check_lookahead(self, delay: float) -> None:
+        part = self._partition
+        if part is not None and delay < part.lookahead:
+            raise RuntimeError(
+                f"cross-shard delivery delay {delay} beats the configured "
+                f"lookahead {part.lookahead}: the conservative window "
+                "protocol would miss it (lower the lookahead bound)"
+            )
+
+    def _emit(
+        self,
+        dst_shard: int,
+        arrival: float,
+        packet: Packet,
+        receivers: "tuple[int, ...]",
+    ) -> None:
+        part = self._partition
+        self._egress.append(
+            (dst_shard, arrival, part.shard_id, self._emit_seq, packet, receivers)
+        )
+        self._emit_seq += 1
+
+    def _partition_dispatch(
+        self,
+        packet: Packet,
+        survivors: List[int],
+        delay: float,
+        extras: "np.ndarray | List[float] | None",
+    ) -> None:
+        """Partition-aware broadcast fan-out.
+
+        Replicates the legacy tail exactly for local receivers (same
+        arrival-time buckets in first-seen order, delivered in receiver
+        order) and turns each bucket's remote receivers into one egress
+        record per destination shard.  Every extra event a bucket split
+        causes — relative to the single event a whole-world medium would
+        schedule — is tallied in :attr:`partition_overhead`.
+        """
+        self._check_lookahead(delay)
+        if extras is None:
+            buckets: Dict[float, List[int]] = {delay: survivors}
+        else:
+            buckets = {}
+            for nbr, extra in zip(survivors, extras):
+                time = delay + float(extra)
+                group = buckets.get(time)
+                if group is None:
+                    buckets[time] = [nbr]
+                else:
+                    group.append(nbr)
+        part = self._partition
+        local = part.local
+        shard_of = part.shard_of
+        now = self.sim.now
+        schedule = self.sim.schedule_fire_and_forget
+        for time, group in buckets.items():
+            local_group: List[int] = []
+            remote: Dict[int, List[int]] = {}
+            for nbr in group:
+                if nbr in local:
+                    local_group.append(nbr)
+                else:
+                    bucket = remote.get(shard_of[nbr])
+                    if bucket is None:
+                        remote[shard_of[nbr]] = [nbr]
+                    else:
+                        bucket.append(nbr)
+            if local_group:
+                if len(local_group) == 1:
+                    schedule(time, self._arrive, packet, local_group[0])
+                else:
+                    schedule(time, self._arrive_many, packet, local_group)
+            for dst_shard, remote_group in remote.items():
+                self._emit(dst_shard, now + time, packet, tuple(remote_group))
+            self.partition_overhead += (1 if local_group else 0) + len(remote) - 1
+
+    def _deliver_remote(self, packet: Packet, dst: int) -> bool:
+        """Unicast delivery to a node owned by another shard.
+
+        Loss and jitter draws happen *here*, on the source shard's RNG —
+        mirroring the whole-world medium, where every draw for a
+        transmission is consumed in the sender's context — so the stream
+        each shard generator sees is a pure function of its own nodes'
+        transmissions.
+        """
+        if not self.network.node(dst).alive:
+            return False
+        if self.loss_rate > 0.0 and self.rng.random() < self.loss_rate:
+            self.stats.record_drop(packet.kind)
+            return False
+        delay = self.cost_model.tx_latency(packet.size_units)
+        self._check_lookahead(delay)
+        if self.jitter > 0.0:
+            delay += float(self.rng.uniform(0.0, self.jitter))
+        self._emit(self._partition.shard_of[dst], self.sim.now + delay, packet, (dst,))
+        return True
 
     # -- link partitioning (fault injection) --------------------------------------
 
@@ -201,7 +369,9 @@ class WirelessMedium:
             extras = self.rng.uniform(0.0, jitter, len(survivors)) if jitter > 0.0 else None
         delay = self.cost_model.tx_latency(size_units)
         if survivors:
-            if extras is None:
+            if self._partition is not None:
+                self._partition_dispatch(packet, survivors, delay, extras)
+            elif extras is None:
                 # fan-out fast path: one event charges every receiver
                 self.sim.schedule_fire_and_forget(delay, self._arrive_many, packet, survivors)
             else:
@@ -235,7 +405,10 @@ class WirelessMedium:
         )
         if self.tx_transform is not None:
             packet = self.tx_transform(packet)
-        ok = self._deliver(packet, dst)
+        if self._partition is not None and dst not in self._partition.local:
+            ok = self._deliver_remote(packet, dst)
+        else:
+            ok = self._deliver(packet, dst)
         self.stats.record_tx(kind, size_units, 1 if ok else 0)
         return ok
 

@@ -61,6 +61,27 @@ class MediumStats:
         self.drops += count
         self.by_kind_drop[kind] = self.by_kind_drop.get(kind, 0) + count
 
+    def merge(self, other: "MediumStats") -> None:
+        """Fold another stats object into this one (shard-result merge).
+
+        Every counter is a sum over disjoint sources — transmissions are
+        counted at the sending shard, receptions at the receiving shard,
+        drops at whichever shard consumed the loss draw — so summing the
+        per-shard objects reproduces exactly the counters a whole-world
+        medium would have recorded.
+        """
+        self.transmissions += other.transmissions
+        self.deliveries += other.deliveries
+        self.drops += other.drops
+        self.data_units_sent += other.data_units_sent
+        self.data_units_received += other.data_units_received
+        for key, val in other.by_kind_tx.items():
+            self.by_kind_tx[key] = self.by_kind_tx.get(key, 0) + val
+        for key, val in other.by_kind_rx.items():
+            self.by_kind_rx[key] = self.by_kind_rx.get(key, 0) + val
+        for key, val in other.by_kind_drop.items():
+            self.by_kind_drop[key] = self.by_kind_drop.get(key, 0) + val
+
     def tx_of_kind(self, kind: str) -> int:
         """Transmissions tagged ``kind``."""
         return self.by_kind_tx.get(kind, 0)

@@ -41,6 +41,7 @@ import numpy as np
 from ..core import CountAggregation, VirtualArchitecture
 from ..deployment import CellGrid, Terrain, build_network, ensure_coverage, uniform_random
 from ..deployment.topology import RealNetwork
+from ..partition import effective_procs
 from ..runtime import (
     FaultPlan,
     deploy,
@@ -104,6 +105,12 @@ def _make_deployment(
     return build_network(positions, cells, tx_range=cells.cell_side * range_cells)
 
 
+def _count_all_cells(cell: Any) -> bool:
+    """Module-level counting predicate: partitioned runs pickle the
+    program spec into shard workers, which a lambda would break."""
+    return True
+
+
 @workload("e1")
 def e1_scaling(params: Dict[str, Any], seed: int) -> WorkloadOutcome:
     """One deployed quad-tree counting round at ``side`` (the E1 kernel).
@@ -120,11 +127,20 @@ def e1_scaling(params: Dict[str, Any], seed: int) -> WorkloadOutcome:
     so seeded fault runs shard deterministically like fault-free ones.
     With a plan the round defaults to ``reliable=True`` and
     ``max_retries=8`` (self-healing needs the ARQ to redirect).
+
+    ``partitions=K`` (K > 1) runs the round on the space-partitioned
+    simulator (``repro.partition``).  K is part of the configuration
+    identity (per-shard RNG streams), while the worker-process count is
+    resolved at run time — clamped against the sweep's own parallelism
+    via ``REPRO_SWEEP_WORKERS`` — and recorded in the metrics
+    (``partition_procs`` / ``partition_procs_clamped``) without touching
+    the fingerprint.
     """
     side = int(params.get("side", 8))
     n_random = int(params.get("n_random", side * side * 7))
     loss = float(params.get("loss", 0.0))
     wire = bool(params.get("wire", False))
+    partitions = int(params.get("partitions", 1))
     plan_spec = params.get("faultplan")
     plan = FaultPlan.from_dicts(plan_spec) if plan_spec else None
     reliable = bool(params.get("reliable", loss > 0.0 or plan is not None))
@@ -132,12 +148,14 @@ def e1_scaling(params: Dict[str, Any], seed: int) -> WorkloadOutcome:
     net = _make_deployment(side, n_random, seed)
     stack = deploy(net)
     va = VirtualArchitecture(side)
-    spec = va.synthesize(CountAggregation(lambda c: True))
+    spec = va.synthesize(CountAggregation(_count_all_cells))
+    budget = effective_procs(partitions) if partitions > 1 else None
     t0 = time.perf_counter()
     result = stack.run_application(
         spec, loss_rate=loss, rng=np.random.default_rng(seed),
         reliable=reliable, max_retries=max_retries, wire_format=wire,
-        fault_plan=plan,
+        fault_plan=plan, partitions=partitions,
+        partition_procs=None if budget is None else budget.procs,
     )
     wall = time.perf_counter() - t0
     if result.root_payload != side * side:
@@ -153,6 +171,10 @@ def e1_scaling(params: Dict[str, Any], seed: int) -> WorkloadOutcome:
         "latency": result.latency,
         "events_processed": float(result.events_processed),
     }
+    if budget is not None:
+        metrics["partitions"] = float(partitions)
+        metrics["partition_procs"] = float(budget.procs)
+        metrics["partition_procs_clamped"] = 1.0 if budget.clamped else 0.0
     fp_parts: List[Any] = [
         result.ledger.fingerprint(),
         result.transmissions,
