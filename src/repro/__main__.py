@@ -23,6 +23,13 @@ fingerprints plus the wall-clock split; ``--self-check`` runs the
 partitioned-simulator acceptance matrix instead (the CI ``partition``
 job).
 
+``python -m repro scenario`` runs one seeded round under the full
+scenario composition (log-normal shadowing, mobility, pursuit adversary,
+duty-cycled sources; DESIGN.md §14) serially and space-partitioned,
+printing the matching fingerprints and the scenario report;
+``--self-check`` runs the scenario acceptance matrix instead (the CI
+``scenario`` job).
+
 ``python -m repro bench ...`` forwards to the perf-regression harness
 (:mod:`repro.bench`), flags included — ``--check``, ``--workers N``,
 ``--profile``.
@@ -149,6 +156,43 @@ def _partition_demo(args: list[str]) -> int:
     return 0 if match else 1
 
 
+def _scenario_demo(args: list[str]) -> int:
+    """``python -m repro scenario [--self-check]``."""
+    from .scenario import self_check
+    from .scenario.selfcheck import SIDE, _kill_plan, _run, demo_scenario
+
+    if "--self-check" in args:
+        return 0 if self_check() else 1
+
+    scn = demo_scenario()
+    plan = _kill_plan((1, 1))
+    print(f"scenario             : {scn.link.kind} + "
+          f"{len(scn.mobility.moves)} moves + attacker at "
+          f"{scn.attacker.start_cell} + {len(scn.sources.cells)} sources")
+    print(f"scenario fingerprint : {scn.fingerprint()}")
+    serial = _run(scn, plan=plan)
+    partitioned = _run(scn, partitions=4, plan=plan)
+    rep = serial.scenario_report
+    print(f"serial run           : {serial.transmissions} tx, "
+          f"{serial.events_processed} events, "
+          f"fingerprint {serial.fingerprint()}")
+    print(f"partitioned (K=4)    : {partitioned.transmissions} tx, "
+          f"{partitioned.events_processed} events, "
+          f"fingerprint {partitioned.fingerprint()}")
+    print(f"scenario report      : {len(rep.relocations)} relocations, "
+          f"{rep.link_faded} frames faded, "
+          f"{rep.source_emissions} source emissions")
+    atk = rep.attacker
+    outcome = (
+        f"captured at t={atk.capture_time:.2f}" if atk.captured
+        else f"evaded (distance {atk.distance:.1f})"
+    )
+    print(f"pursuit adversary    : {atk.moves} moves, {outcome}")
+    match = partitioned.fingerprint() == serial.fingerprint()
+    print(f"serial == partitioned: {'MATCH' if match else 'MISMATCH'}")
+    return 0 if match else 1
+
+
 def main(argv: list[str] | None = None) -> int:
     """Run the demo; returns a process exit code."""
     args = list(sys.argv[1:] if argv is None else argv)
@@ -167,6 +211,8 @@ def main(argv: list[str] | None = None) -> int:
         return _serve_demo(args[1:])
     if args and args[0] == "partition":
         return _partition_demo(args[1:])
+    if args and args[0] == "scenario":
+        return _scenario_demo(args[1:])
     if args and args[0] == "bench":
         from .bench import main as bench_main
 

@@ -46,6 +46,8 @@ from ..simulator.network import Packet, PartitionSlice, WirelessMedium
 from ..simulator.process import Process, ProcessHost
 from ..simulator.trace import MediumStats, stable_digest
 from ..runtime.faults import FaultEvent, FaultInjector, FaultPlan, FaultReport, HealingConfig
+from ..runtime.wire import decode_packet, encode_packet
+from ..scenario import Scenario, ScenarioInjector, ScenarioReport, merge_scenario_reports
 from .plan import ShardPlan, plan_stripes
 
 #: Packet kind used by the synthetic broadcast-storm workload.
@@ -154,6 +156,7 @@ class _AppJob:
     backoff_jitter: float
     fault_plan: Optional[FaultPlan]
     healing: Optional[HealingConfig]
+    scenario: Optional[Scenario]
 
 
 @dataclass
@@ -217,9 +220,12 @@ class _ShardResult:
     rejected_frames: int
     report: Optional[FaultReport]
     # owner-authoritative write-back state: node_id -> (alive, consumed,
-    # initial_energy), and cell -> leader for cells this shard owns
-    node_state: Dict[int, Tuple[bool, float, float]]
+    # initial_energy, position), and cell -> leader for cells this shard owns
+    node_state: Dict[int, Tuple[bool, float, float, Tuple[float, float]]]
     leaders: Dict[GridCoord, int]
+    scenario_report: Optional[ScenarioReport] = None
+    # owner-shard slice of the attacker's delivery tap (time, src, receiver)
+    delivery_log: Tuple[Tuple[float, int, int], ...] = ()
 
 
 class _ShardWorld:
@@ -279,6 +285,13 @@ class _ShardWorld:
         self.host.start()
         if isinstance(job, _AppJob) and job.fault_plan:
             self._arm_faults(job)
+        self.scenario_injector: Optional[ScenarioInjector] = None
+        self.scenario_report: Optional[ScenarioReport] = None
+        if isinstance(job, _AppJob) and job.scenario is not None:
+            self._arm_scenario(job)
+        # boundary packets cross shards as wire-codec bytes when the run
+        # exercises the wire format end to end
+        self.wire_boundary = isinstance(job, _AppJob) and job.wire_format
 
     # -- construction ------------------------------------------------------------
 
@@ -356,6 +369,32 @@ class _ShardWorld:
         )
         injector.arm(self.sim, medium)
 
+    def _owns_node(self, nid: int) -> bool:
+        return self.plan.shard_of_node[nid] == self.shard_id
+
+    def _owns_cell(self, cell: GridCoord) -> bool:
+        return self.plan.shard_of_cell(cell) == self.shard_id
+
+    def _arm_scenario(self, job: _AppJob) -> None:
+        medium = self.medium
+
+        def count_overhead() -> None:
+            medium.partition_overhead += 1
+
+        single = self.plan.partitions == 1
+        self.scenario_report = ScenarioReport()
+        self.scenario_injector = ScenarioInjector(
+            job.scenario,
+            job.stack.network,
+            job.stack.binding,
+            self.host,
+            self.scenario_report,
+            owns_node=None if single else self._owns_node,
+            owns_cell=None if single else self._owns_cell,
+            overhead=None if single else count_overhead,
+        )
+        self.scenario_injector.arm(self.sim, medium)
+
     # -- window protocol ---------------------------------------------------------
 
     def advance(
@@ -367,23 +406,39 @@ class _ShardWorld:
         report ``(fired, pending, next_event_time, egress)``."""
         if records:
             records.sort(key=lambda rec: (rec[1], rec[2], rec[3]))
+            wire = self.wire_boundary
             inject = self.medium.inject_boundary
             for _, time, _, _, packet, receivers in records:
+                if wire:
+                    packet = decode_packet(packet)
                 inject(time, packet, receivers)
         fired = self.sim.run_until_lookahead(horizon)
+        egress = self.medium.drain_egress()
+        if self.wire_boundary and egress:
+            # ship boundary packets as codec bytes, not pickled objects:
+            # the same frames the wire-format run puts on the air
+            egress = [
+                (rec[0], rec[1], rec[2], rec[3], encode_packet(rec[4]), rec[5])
+                for rec in egress
+            ]
         return (
             fired,
             self.sim.pending,
             self.sim.next_event_time(),
-            self.medium.drain_egress(),
+            egress,
         )
 
     def finalize(self) -> _ShardResult:
         if self.report is not None:
             self.report.orphaned_deliveries = self.counters["orphaned"]
+        delivery_log: Tuple[Tuple[float, int, int], ...] = ()
+        if self.scenario_injector is not None:
+            # no pursuit here: the parent replays it once over the merged tap
+            self.scenario_injector.finalize(pursue=False)
+            delivery_log = tuple(self.scenario_injector.delivery_log())
         network = self.network
         node_state = {
-            nid: (node.alive, node.consumed_energy, node.initial_energy)
+            nid: (node.alive, node.consumed_energy, node.initial_energy, node.position)
             for nid in self.plan.local_nodes[self.shard_id]
             for node in (network.nodes[nid],)
         }
@@ -409,6 +464,8 @@ class _ShardWorld:
             report=self.report,
             node_state=node_state,
             leaders=leaders,
+            scenario_report=self.scenario_report,
+            delivery_log=delivery_log,
         )
 
 
@@ -687,6 +744,7 @@ def run_partitioned_application(
     backoff_jitter: float = 0.5,
     fault_plan: Optional[FaultPlan] = None,
     healing: Optional[HealingConfig] = None,
+    scenario: Any = None,
     jitter: float = 0.0,
     lookahead: Optional[float] = None,
     wall_timeout_s: Optional[float] = None,
@@ -716,7 +774,12 @@ def run_partitioned_application(
             f"program grid {grid.width}x{grid.height} does not match "
             f"the {side}x{side} cell decomposition"
         )
-    if healing is None and fault_plan is not None:
+    scenario = Scenario.coerce(scenario)
+    if scenario is not None and scenario.is_trivial():
+        scenario = None
+    if healing is None and (
+        fault_plan is not None or (scenario is not None and scenario.mobility)
+    ):
         healing = HealingConfig()
     plan = plan_stripes(stack.network, partitions)
     if lookahead is None:
@@ -736,6 +799,7 @@ def run_partitioned_application(
         backoff_jitter=backoff_jitter,
         fault_plan=fault_plan,
         healing=healing,
+        scenario=scenario,
     )
     job_blob = _pickle_job(job)
     rngs = _spawn_rngs(rng, partitions)
@@ -768,7 +832,36 @@ def run_partitioned_application(
         report = merge_fault_reports(
             [res.report for res in results if res.report is not None], partitions
         )
+    scenario_report = None
+    if scenario is not None:
+        scenario_report = merge_scenario_reports(
+            res.scenario_report for res in results if res.scenario_report is not None
+        )
+    # pursuit endpoints resolve against the *arm-time* binding (what every
+    # shard replica saw), so capture them before the post-run write-back
+    # replaces leaderships
+    attacker_start: Optional[int] = None
+    attacker_sources: Tuple[int, ...] = ()
+    if scenario is not None and scenario.attacker is not None:
+        leaders = stack.binding.leaders
+        attacker_start = leaders.get(scenario.attacker.start_cell)
+        attacker_sources = tuple(
+            sorted(
+                {
+                    leaders[c]
+                    for c in scenario.attacker.source_cells
+                    if leaders.get(c) is not None
+                }
+            )
+        )
     _write_back(stack, results)
+    if scenario is not None and scenario.attacker is not None:
+        # one pursuit over the merged tap, on post-write-back positions —
+        # exactly what the serial injector's finalize() computes
+        tap = sorted(rec for res in results for rec in res.delivery_log)
+        scenario_report.attacker = scenario.attacker.pursue(
+            tap, attacker_start, attacker_sources, stack.network
+        )
     return DeployedRunResult(
         exfiltrated=exfiltrated,
         ledger=ledger,
@@ -779,6 +872,7 @@ def run_partitioned_application(
         events_processed=events,
         rejected_frames=rejected,
         fault_report=report,
+        scenario_report=scenario_report,
     )
 
 
@@ -795,8 +889,12 @@ def _write_back(stack, results: List[_ShardResult]) -> None:
     """
     network = stack.network
     for res in results:
-        for nid, (alive, consumed, initial) in res.node_state.items():
+        for nid, (alive, consumed, initial, position) in res.node_state.items():
             node = network.nodes[nid]
+            if node.position != position:
+                # mobility re-homed this node inside its owner replica:
+                # replay the move so parent adjacency/cell state match
+                network.move_node(nid, position)
             node.initial_energy = initial
             node._consumed = consumed
             node.alive = alive

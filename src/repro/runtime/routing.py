@@ -471,8 +471,11 @@ class TransportProcess(Process):
         if cell == envelope.dst_cell:
             nxt = self.binding.toward_leader.get(self.node_id)
             if self.healing is not None and (
-                nxt is None or not net.node(nxt).alive
+                nxt is None
+                or not net.node(nxt).alive
+                or nxt not in net.neighbor_set(self.node_id)
             ):
+                # dead, or moved out of radio range (mobility): repair
                 if self.binding.repair_gradient(cell) and self.fault_report is not None:
                     self.fault_report.reroutes += 1
                 nxt = self.binding.toward_leader.get(self.node_id)
@@ -482,7 +485,9 @@ class TransportProcess(Process):
             direction = next_direction(cell, envelope.dst_cell)
             nxt = self.topology.entry(self.node_id, direction)
             if self.healing is not None and (
-                nxt is None or not net.node(nxt).alive
+                nxt is None
+                or not net.node(nxt).alive
+                or nxt not in net.neighbor_set(self.node_id)
             ):
                 if self.topology.repair(cell, direction) and self.fault_report is not None:
                     self.fault_report.reroutes += 1
@@ -491,6 +496,8 @@ class TransportProcess(Process):
                 return None, f"no routing entry {direction.name}"
         if not net.node(nxt).alive:
             return None, f"next hop {nxt} dead"
+        if nxt not in net.neighbor_set(self.node_id):
+            return None, f"next hop {nxt} out of range"
         return nxt, ""
 
     def _route(self, envelope: TransportEnvelope) -> None:
@@ -630,7 +637,13 @@ class TransportProcess(Process):
         leader = self.binding.leaders.get(cell)
         if self.fault_report is not None:
             self.fault_report.detected_failures += 1
-        leader_alive = leader is not None and net.node(leader).alive
+        # a leader that moved to another cell (mobility) is alive but
+        # absent — the cell must fail over exactly as if it had died
+        leader_alive = (
+            leader is not None
+            and net.node(leader).alive
+            and net.cell_of(leader) == cell
+        )
         members = net.members_of_cell(cell)
         successor = (
             min(members, key=lambda m: (h.metric(net, m), m)) if members else None
@@ -677,7 +690,12 @@ class TransportProcess(Process):
         self._takeover_seen.add(key)
         net = self.medium.network
         current = self.binding.leaders.get(cell)
-        if current is None or current == leader or not net.node(current).alive:
+        if (
+            current is None
+            or current == leader
+            or not net.node(current).alive
+            or net.cell_of(current) != cell
+        ):
             self.binding.leaders[cell] = leader
         if leader != self.node_id:
             self.binding.toward_leader[self.node_id] = packet.src

@@ -72,6 +72,7 @@ class DeployedRunResult:
     events_processed: int = 0
     rejected_frames: int = 0
     fault_report: Optional[FaultReport] = None
+    scenario_report: Optional[Any] = None  # repro.scenario.ScenarioReport
 
     @property
     def root_payload(self) -> Any:
@@ -92,19 +93,22 @@ class DeployedRunResult:
         """
         from ..simulator.trace import stable_digest
 
-        return stable_digest(
-            (
-                self.ledger.fingerprint(),
-                tuple(sorted((str(c), repr(v)) for c, v in self.exfiltrated.items())),
-                self.transmissions,
-                self.drops,
-                self.delivered_envelopes,
-                self.latency,
-                self.events_processed,
-                self.rejected_frames,
-                None if self.fault_report is None else self.fault_report.fingerprint(),
-            )
+        parts: Tuple[Any, ...] = (
+            self.ledger.fingerprint(),
+            tuple(sorted((str(c), repr(v)) for c, v in self.exfiltrated.items())),
+            self.transmissions,
+            self.drops,
+            self.delivered_envelopes,
+            self.latency,
+            self.events_processed,
+            self.rejected_frames,
+            None if self.fault_report is None else self.fault_report.fingerprint(),
         )
+        # appended only when a scenario ran, so no-scenario runs (and runs
+        # with the explicit UnitDisk default) keep their historic digests
+        if self.scenario_report is not None:
+            parts = parts + (self.scenario_report.fingerprint(),)
+        return stable_digest(parts)
 
 
 class _AppProcess(TransportProcess):
@@ -253,6 +257,7 @@ class DeployedStack:
         healing: Optional[HealingConfig] = None,
         partitions: int = 1,
         partition_procs: Optional[int] = None,
+        scenario: Any = None,
     ) -> DeployedRunResult:
         """Execute one round of the synthesized application.
 
@@ -282,7 +287,22 @@ class DeployedStack:
         streams); the worker count is a pure perf knob — fingerprints are
         identical for any ``partition_procs``, and ``partitions=1`` is
         byte-identical to this legacy path.
+
+        ``scenario`` plugs in the world models of :mod:`repro.scenario`
+        (DESIGN.md §14) — a :class:`~repro.scenario.Scenario` or its dict
+        form: radio link model, mobility schedule, pursuit adversary, and
+        duty-cycled sources.  A trivial scenario (unit-disk only) is
+        dropped entirely, keeping this path byte-identical to no scenario;
+        otherwise the result carries a fingerprint-folded
+        :class:`~repro.scenario.ScenarioReport`.  Mobility forces healing
+        on (moves re-home nodes between cells; the self-healing path is
+        what re-binds them).
         """
+        from ..scenario import Scenario, ScenarioInjector, ScenarioReport
+
+        scenario = Scenario.coerce(scenario)
+        if scenario is not None and scenario.is_trivial():
+            scenario = None
         if partitions > 1:
             from ..partition import run_partitioned_application
 
@@ -302,6 +322,7 @@ class DeployedStack:
                 backoff_jitter=backoff_jitter,
                 fault_plan=fault_plan,
                 healing=healing,
+                scenario=scenario,
             )
         side = self.network.cells.cells_per_side
         grid = spec.groups.grid
@@ -310,7 +331,10 @@ class DeployedStack:
                 f"program grid {grid.width}x{grid.height} does not match "
                 f"the {side}x{side} cell decomposition"
             )
-        if healing is None and fault_plan is not None:
+        if healing is None and (
+            fault_plan is not None
+            or (scenario is not None and scenario.mobility)
+        ):
             healing = HealingConfig()
         report = (
             FaultReport() if (fault_plan is not None or healing is not None) else None
@@ -349,9 +373,19 @@ class DeployedStack:
         if fault_plan:
             injector = FaultInjector(fault_plan, self.network, self.binding, report)
             injector.arm(sim, medium)
+        scenario_report: Optional[ScenarioReport] = None
+        scenario_injector: Optional[ScenarioInjector] = None
+        if scenario is not None:
+            scenario_report = ScenarioReport()
+            scenario_injector = ScenarioInjector(
+                scenario, self.network, self.binding, host, scenario_report
+            )
+            scenario_injector.arm(sim, medium)
         sim.run(max_events=max_events)
         if report is not None:
             report.orphaned_deliveries = counters["orphaned"]
+        if scenario_injector is not None:
+            scenario_injector.finalize()
         return DeployedRunResult(
             exfiltrated=results,
             ledger=medium.ledger,
@@ -362,6 +396,7 @@ class DeployedStack:
             events_processed=sim.events_processed,
             rejected_frames=sum(p.rejected_frames for p in processes),
             fault_report=report,
+            scenario_report=scenario_report,
         )
 
 

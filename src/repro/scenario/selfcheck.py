@@ -1,0 +1,266 @@
+"""Acceptance matrix for the scenario subsystem (DESIGN.md §14).
+
+Run by the ``scenario`` CI job via ``python -m repro scenario
+--self-check``.  Everything here pins the subsystem's reproducibility
+contract — **a seeded scenario run fingerprints byte-identically in
+every execution mode** — plus the behavioural properties around it:
+
+* selecting :class:`UnitDisk` explicitly is byte-identical to running
+  with no scenario at all (the zero-cost default);
+* each non-trivial link model reruns byte-identically, actually fades
+  packets, and perturbs the run relative to the unit-disk baseline;
+* the full composition — shadowing + mobility + attacker + sources +
+  an armed :class:`~repro.runtime.faults.FaultPlan` — fingerprints
+  identically across the legacy serial path, K=1 and K=4 partitioned
+  execution, with the wire codec on and off;
+* the attacker's capture metric is deterministic and survives the
+  partitioned tap merge; mobility relocations are all logged; source
+  duty-cycle accounting is exact;
+* a scenario dict round-trips through JSON with the same fingerprint
+  and drives the same run as the object form;
+* declarative-model validation rejects malformed parameters loudly.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Callable, List, Optional
+
+import numpy as np
+
+from .attacker import Attacker
+from .link import LogNormalShadowing, PerPairFading, UnitDisk, link_model_from_dict
+from .mobility import Move, plan_cell_hops
+from .sources import SourcePeriodModel
+from .spec import Scenario
+
+#: small-but-real deployment: 4x4 cells, ~140 nodes (the faults
+#: self-check scale, cheap enough to run the full execution-mode matrix)
+SIDE = 4
+SEED = 11
+
+
+def _count_all(cell: Any) -> bool:
+    """Module-level predicate: the program spec is pickled into shards."""
+    return True
+
+
+def _build(seed: int, side: int = SIDE, n_random: int = 140):
+    from ..deployment import (
+        CellGrid,
+        Terrain,
+        build_network,
+        ensure_coverage,
+        uniform_random,
+    )
+
+    terrain = Terrain(100.0)
+    cells = CellGrid(terrain, side)
+    rng = np.random.default_rng(seed)
+    positions = ensure_coverage(uniform_random(n_random, terrain, rng), cells, rng)
+    return build_network(positions, cells, tx_range=cells.cell_side * 2.3)
+
+
+def demo_scenario(seed: int = SEED, side: int = SIDE) -> Scenario:
+    """The reference full-composition scenario (also the CLI demo)."""
+    net = _build(seed, side)
+    cells = [(x, y) for x in range(side) for y in range(side)]
+    return Scenario(
+        link=LogNormalShadowing(sigma=3.0, seed=seed),
+        mobility=plan_cell_hops(
+            sorted(net.node_ids()), cells, hops=5, at=0.6, spacing=0.1, seed=seed
+        ),
+        attacker=Attacker(start_cell=(0, 0), source_cells=((side - 1, side - 1),)),
+        sources=SourcePeriodModel(
+            cells=((side - 1, side - 1), (1, 2)),
+            period=1.0,
+            first=0.4,
+            count=2,
+            dst_cell=(0, 0),
+        ),
+    )
+
+
+def _run(
+    scenario: Any,
+    partitions: int = 0,
+    procs: int = 1,
+    wire: bool = False,
+    plan: Any = None,
+    seed: int = SEED,
+):
+    """One seeded run on a fresh stack; ``partitions=0`` = legacy path."""
+    from ..core import CountAggregation, VirtualArchitecture
+    from ..partition.runner import run_partitioned_application
+    from ..runtime import deploy
+
+    stack = deploy(_build(seed))
+    spec = VirtualArchitecture(SIDE).synthesize(CountAggregation(_count_all))
+    if partitions == 0:
+        return stack.run_application(
+            spec,
+            rng=np.random.default_rng(seed + 1),
+            reliable=True,
+            max_retries=8,
+            wire_format=wire,
+            fault_plan=plan,
+            scenario=scenario,
+        )
+    return run_partitioned_application(
+        stack,
+        spec,
+        partitions=partitions,
+        procs=procs,
+        rng=np.random.default_rng(seed + 1),
+        reliable=True,
+        max_retries=8,
+        wire_format=wire,
+        fault_plan=plan,
+        scenario=scenario,
+        wall_timeout_s=120.0,
+    )
+
+
+def _kill_plan(cell):
+    from ..runtime.faults import FaultEvent, FaultPlan
+
+    return FaultPlan(events=(FaultEvent(time=0.7, action="kill_leader", cell=cell),))
+
+
+def _raises(thunk: Callable[[], Any]) -> bool:
+    try:
+        thunk()
+    except ValueError:
+        return True
+    return False
+
+
+def self_check(verbose: bool = True) -> bool:
+    """The acceptance matrix; returns False (after running everything)
+    if any check failed."""
+
+    def say(msg: str) -> None:
+        if verbose:
+            print(msg)
+
+    failures: List[str] = []
+
+    def check(name: str, cond: bool) -> None:
+        mark = "ok" if cond else "FAIL"
+        say(f"  [{mark}] {name}")
+        if not cond:
+            failures.append(name)
+
+    say("scenario: UnitDisk explicitly selected == no scenario at all")
+    base = _run(None)
+    named = _run(Scenario(link=UnitDisk()))
+    check(
+        "UnitDisk scenario is byte-identical to no scenario",
+        named.fingerprint() == base.fingerprint(),
+    )
+    check("trivial scenario attaches no report", named.scenario_report is None)
+
+    say("scenario: link-model determinism and effect")
+    for model in (LogNormalShadowing(sigma=3.0, seed=7), PerPairFading(depth=0.7, seed=7)):
+        first = _run(Scenario(link=model))
+        again = _run(Scenario(link=model))
+        check(
+            f"{model.kind} reruns byte-identically",
+            first.fingerprint() == again.fingerprint(),
+        )
+        report = first.scenario_report
+        check(
+            f"{model.kind} actually fades packets",
+            report is not None and report.link_faded > 0,
+        )
+        check(
+            f"{model.kind} perturbs the unit-disk baseline",
+            first.fingerprint() != base.fingerprint(),
+        )
+
+    say("scenario: full composition across execution modes (with faults)")
+    scn = demo_scenario()
+    plan = _kill_plan((1, 1))
+    serial = {w: _run(scn, plan=plan, wire=w) for w in (False, True)}
+    via_k1 = _run(scn, partitions=1, plan=plan)
+    check(
+        "K=1 partition entry == legacy serial",
+        via_k1.fingerprint() == serial[False].fingerprint(),
+    )
+    k4_plain = _run(scn, partitions=4, procs=1, plan=plan)
+    check(
+        "K=4 (multiplexed shards) == serial",
+        k4_plain.fingerprint() == serial[False].fingerprint(),
+    )
+    k4_wire = _run(scn, partitions=4, procs=4, plan=plan, wire=True)
+    check(
+        "K=4 (worker processes, wire codec) == serial wire run",
+        k4_wire.fingerprint() == serial[True].fingerprint(),
+    )
+
+    say("scenario: attacker capture metric")
+    rep = serial[False].scenario_report
+    k4_rep = k4_plain.scenario_report
+    check("pursuit outcome recorded", rep is not None and rep.attacker is not None)
+    check(
+        "pursuit outcome identical serial vs partitioned",
+        rep is not None
+        and k4_rep is not None
+        and rep.attacker is not None
+        and k4_rep.attacker is not None
+        and rep.attacker.as_tuple() == k4_rep.attacker.as_tuple(),
+    )
+    check(
+        "capture metric surfaces in flat metrics",
+        rep is not None and "attacker_moves" in rep.metrics(),
+    )
+
+    say("scenario: mobility and source accounting")
+    check(
+        "every mobility move logged a relocation",
+        rep is not None
+        and scn.mobility is not None
+        and len(rep.relocations) == len(scn.mobility.moves),
+    )
+    expected_fires = len(scn.sources.cells) * scn.sources.count
+    check(
+        "source duty cycle fully accounted",
+        rep is not None
+        and rep.source_emissions + rep.source_skipped == expected_fires
+        and rep.source_emissions >= 1,
+    )
+
+    say("scenario: declarative round-trips")
+    wire_spec = json.loads(json.dumps(scn.to_dict()))
+    check(
+        "dict form round-trips through JSON with the same fingerprint",
+        Scenario.from_dict(wire_spec).fingerprint() == scn.fingerprint(),
+    )
+    via_dict = _run(wire_spec, plan=plan)
+    check(
+        "dict-form scenario drives the identical run",
+        via_dict.fingerprint() == serial[False].fingerprint(),
+    )
+
+    say("scenario: parameter validation")
+    check("negative sigma rejected", _raises(lambda: LogNormalShadowing(sigma=-1.0)))
+    check("fading depth > 1 rejected", _raises(lambda: PerPairFading(depth=1.5)))
+    check(
+        "unknown link kind rejected",
+        _raises(lambda: link_model_from_dict({"kind": "carrier-pigeon"})),
+    )
+    check("negative move time rejected", _raises(lambda: Move(time=-1.0, node=0, cell=(0, 0))))
+    check(
+        "empty source-cell list rejected",
+        _raises(lambda: SourcePeriodModel(cells=(), period=1.0)),
+    )
+    check(
+        "attacker without sources rejected",
+        _raises(lambda: Attacker(start_cell=(0, 0), source_cells=())),
+    )
+
+    if failures:
+        say(f"scenario self-check: {len(failures)} FAILED: {failures}")
+        return False
+    say("scenario self-check: all checks passed")
+    return True

@@ -62,6 +62,10 @@ class ServeConfig:
     max_retries: int = 3
     ack_timeout: float = 4.0
     max_events_per_round: int = 10_000_000
+    #: optional radio model for the serving medium — a
+    #: :meth:`repro.scenario.LinkModel.to_dict` spec (kept declarative so
+    #: serve configs stay JSON-able); ``None`` = unit disk
+    link_model: Optional[Dict[str, Any]] = None
 
 
 @dataclass(frozen=True)
@@ -330,6 +334,14 @@ class QueryEngine:
         self.sim, self.medium, self._host = stack.make_harness(
             loss_rate=self.config.loss_rate, rng=self.config.rng
         )
+        if self.config.link_model is not None:
+            from ..scenario import link_model_from_dict
+
+            gate = link_model_from_dict(self.config.link_model).build_gate(
+                stack.network
+            )
+            if gate is not None:
+                self.medium.link_gate = gate
         self._storage: Dict[GridCoord, Any] = dict(storage or {})
         self._epoch: Dict[GridCoord, int] = {}
         # (querier cell, storage cell) -> (epoch at fill time, payload)

@@ -139,6 +139,13 @@ class WirelessMedium:
         # buckets split across shards, plus non-owned fault firings.  The
         # merged run subtracts this so events_processed is K-invariant.
         self.partition_overhead = 0
+        # scenario hooks (repro.scenario): an optional per-directed-link
+        # admission gate (radio models) and a passive delivery tap the
+        # pursuit adversary replays post-run.  Both default off so the
+        # no-scenario hot path pays only a None check.
+        self.link_gate: Optional[Any] = None
+        self.delivery_log: "Optional[List[tuple[float, int, int]]]" = None
+        self.tap_kinds: "frozenset[str]" = frozenset()
 
     # -- space partitioning (repro.partition) -------------------------------------
 
@@ -338,6 +345,17 @@ class WirelessMedium:
         if self._blocked_links:
             blocked = self._blocked_links
             receivers = [r for r in receivers if (src, r) not in blocked]
+        gate = self.link_gate
+        if gate is not None and receivers:
+            # link-model admission (repro.scenario): decided per directed
+            # link from counter hashes BEFORE any loss/jitter RNG draw, so
+            # gated runs keep the medium stream aligned across modes
+            admit = gate.admit
+            kept = [r for r in receivers if admit(src, r)]
+            faded = len(receivers) - len(kept)
+            if faded:
+                self.stats.record_drops(kind, faded)
+            receivers = kept
         if not receivers:
             self.stats.record_tx(kind, size_units, 0)
             return 0
@@ -397,6 +415,11 @@ class WirelessMedium:
         self._charge_tx(src, size_units, kind)
         if self._blocked_links and (src, dst) in self._blocked_links:
             # partitioned link: energy is spent, nothing arrives
+            self.stats.record_drop(kind)
+            self.stats.record_tx(kind, size_units, 0)
+            return False
+        if self.link_gate is not None and not self.link_gate.admit(src, dst):
+            # faded by the link model: energy is spent, nothing arrives
             self.stats.record_drop(kind)
             self.stats.record_tx(kind, size_units, 0)
             return False
@@ -517,6 +540,9 @@ class WirelessMedium:
         node = self.network.node(receiver)
         if not node.alive:  # died in flight
             return
+        if self.tap_kinds and packet.kind in self.tap_kinds:
+            # passive adversary tap (repro.scenario): record, never perturb
+            self.delivery_log.append((self.sim.now, packet.src, receiver))
         energy = self.cost_model.rx_energy(packet.size_units)
         node.draw(energy)
         self.ledger.charge(receiver, energy, f"rx:{packet.kind}")

@@ -51,6 +51,7 @@ from ..runtime import (
     recover,
     rotate_leaders,
 )
+from ..scenario import Scenario
 from ..simulator.engine import Simulator
 from ..simulator.network import WirelessMedium
 from ..simulator.trace import stable_digest
@@ -135,6 +136,17 @@ def e1_scaling(params: Dict[str, Any], seed: int) -> WorkloadOutcome:
     via ``REPRO_SWEEP_WORKERS`` — and recorded in the metrics
     (``partition_procs`` / ``partition_procs_clamped``) without touching
     the fingerprint.
+
+    ``scenario`` (the :meth:`~repro.scenario.Scenario.to_dict` shape)
+    plugs in the world models of :mod:`repro.scenario` — radio link
+    model, mobility schedule, pursuit adversary, duty-cycled sources —
+    as a sweep axis.  The scenario and its
+    :class:`~repro.scenario.ScenarioReport` fold into the fingerprint,
+    and the report's flat metrics (``link_faded``, ``relocations``,
+    ``attacker_*``, ``source_*``) land in the sweep record.  Scenario
+    rounds default to ``reliable=True`` and report ``app_count`` instead
+    of asserting the exact total: a faded or re-homed world may
+    legitimately fall short of the full count.
     """
     side = int(params.get("side", 8))
     n_random = int(params.get("n_random", side * side * 7))
@@ -143,8 +155,15 @@ def e1_scaling(params: Dict[str, Any], seed: int) -> WorkloadOutcome:
     partitions = int(params.get("partitions", 1))
     plan_spec = params.get("faultplan")
     plan = FaultPlan.from_dicts(plan_spec) if plan_spec else None
-    reliable = bool(params.get("reliable", loss > 0.0 or plan is not None))
-    max_retries = int(params.get("max_retries", 8 if plan is not None else 3))
+    scenario = Scenario.coerce(params.get("scenario"))
+    if scenario is not None and scenario.is_trivial():
+        scenario = None
+    reliable = bool(
+        params.get("reliable", loss > 0.0 or plan is not None or scenario is not None)
+    )
+    max_retries = int(
+        params.get("max_retries", 8 if (plan is not None or scenario is not None) else 3)
+    )
     net = _make_deployment(side, n_random, seed)
     stack = deploy(net)
     va = VirtualArchitecture(side)
@@ -156,9 +175,10 @@ def e1_scaling(params: Dict[str, Any], seed: int) -> WorkloadOutcome:
         reliable=reliable, max_retries=max_retries, wire_format=wire,
         fault_plan=plan, partitions=partitions,
         partition_procs=None if budget is None else budget.procs,
+        scenario=scenario,
     )
     wall = time.perf_counter() - t0
-    if result.root_payload != side * side:
+    if scenario is None and result.root_payload != side * side:
         raise RuntimeError(
             f"E1 count mismatch: got {result.root_payload}, want {side * side}"
         )
@@ -189,6 +209,14 @@ def e1_scaling(params: Dict[str, Any], seed: int) -> WorkloadOutcome:
         metrics["reroutes"] = float(report.reroutes)
         metrics["frames_rejected"] = float(report.frames_rejected)
         fp_parts.extend([plan.fingerprint(), report.fingerprint()])
+    if scenario is not None:
+        scn_report = result.scenario_report
+        assert scn_report is not None
+        metrics["app_count"] = float(
+            result.root_payload if len(result.exfiltrated) == 1 else -1
+        )
+        metrics.update(scn_report.metrics())
+        fp_parts.extend([scenario.fingerprint(), scn_report.fingerprint()])
     return WorkloadOutcome(metrics=metrics, fingerprint=stable_digest(tuple(fp_parts)))
 
 

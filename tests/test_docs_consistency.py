@@ -62,6 +62,7 @@ class TestPublicApiHygiene:
         "repro.core",
         "repro.apps",
         "repro.deployment",
+        "repro.scenario",
         "repro.simulator",
         "repro.runtime",
     ]

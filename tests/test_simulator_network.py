@@ -135,10 +135,19 @@ class TestLossAndJitter:
         assert medium.stats.drops == 400 - total_delivered
 
     def test_loss_rate_validation(self, sim):
-        with pytest.raises(ValueError):
+        with pytest.raises(ValueError, match=r"loss_rate must be in \[0, 1\)"):
             WirelessMedium(sim, triangle_network(), loss_rate=1.0)
-        with pytest.raises(ValueError):
+        with pytest.raises(ValueError, match=r"loss_rate must be in \[0, 1\)"):
+            WirelessMedium(sim, triangle_network(), loss_rate=1.5)
+        with pytest.raises(ValueError, match=r"loss_rate must be in \[0, 1\)"):
+            WirelessMedium(sim, triangle_network(), loss_rate=-0.1)
+        with pytest.raises(ValueError, match="jitter must be non-negative"):
             WirelessMedium(sim, triangle_network(), jitter=-0.1)
+
+    def test_boundary_params_accepted(self, sim):
+        # the closed ends of the valid ranges must not raise
+        WirelessMedium(sim, triangle_network(), loss_rate=0.0, jitter=0.0)
+        WirelessMedium(sim, triangle_network(), loss_rate=0.999)
 
     def test_jitter_spreads_arrivals(self, sim):
         medium = WirelessMedium(
