@@ -33,6 +33,13 @@ printing the matching fingerprints and the scenario report;
 ``python -m repro bench ...`` forwards to the perf-regression harness
 (:mod:`repro.bench`), flags included — ``--check``, ``--workers N``,
 ``--profile``.
+
+``python -m repro analyze ...`` runs the campaign-analytics pipeline
+(:mod:`repro.analyze`): memoized aggregation of sweep JSONL sinks with
+confidence intervals (``--sink``/``--by``), plus trajectory regression
+detection over the committed ``BENCH_*.json`` artifacts, writing
+``ANALYZE_report.json``; ``--self-check`` runs the analysis acceptance
+matrix instead (the CI ``analyze`` job).
 """
 
 from __future__ import annotations
@@ -217,6 +224,10 @@ def main(argv: list[str] | None = None) -> int:
         from .bench import main as bench_main
 
         return bench_main(args[1:])
+    if args and args[0] == "analyze":
+        from .analyze.cli import main as analyze_main
+
+        return analyze_main(args[1:])
     side = int(args[0]) if args else 16
     threshold = float(args[1]) if len(args) > 1 else 0.5
     # side <= 0 must not slip through: 0 & -1 == 0 passes the bit trick

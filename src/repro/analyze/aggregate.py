@@ -1,0 +1,180 @@
+"""Cross-sweep group-by aggregation with mergeable summaries.
+
+A :class:`GroupQuery` names the question ("group the ``storm`` records by
+``loss`` and summarize every metric"); :func:`aggregate_records` folds a
+batch of typed records into one :class:`GroupAggregate` per group.  The
+aggregates are *mergeable* — per-metric :class:`~repro.analyze.stats.Accumulator`
+moments, failure counts, and fingerprint digests all combine associatively
+— which is what lets the disk memo (:mod:`repro.analyze.cache`) keep one
+partial per sink file and combine partials instead of re-reading records.
+
+Audit duplicates are excluded from the statistics (they exist to check
+determinism, not to bias it — same rule as :func:`repro.sweep.summarize`);
+their fingerprint verdicts travel in the ingest report instead.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from .ingest import AnalyzeError, RunRecord
+from .stats import Accumulator, ConfidenceInterval, confidence_interval
+
+
+@dataclass(frozen=True)
+class GroupQuery:
+    """One aggregation question over a campaign.
+
+    ``by`` lists the grid axes to group on (``None`` = every parameter,
+    i.e. one group per grid point); ``metrics`` restricts which numeric
+    metrics are summarized (``None`` = all); ``workload`` filters records
+    to one workload kernel.  The canonical form is part of the memo key,
+    so two processes asking "the same question" share cache entries.
+    """
+
+    by: Optional[Tuple[str, ...]] = None
+    metrics: Optional[Tuple[str, ...]] = None
+    workload: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        for name, value in (("by", self.by), ("metrics", self.metrics)):
+            if value is not None and (
+                not isinstance(value, tuple)
+                or any(not isinstance(v, str) for v in value)
+            ):
+                raise AnalyzeError(f"GroupQuery.{name} must be a tuple of axis names")
+
+    def canonical_json(self) -> str:
+        """Canonical serialization (the memo-key half the query owns)."""
+        return json.dumps(
+            {
+                "by": sorted(self.by) if self.by is not None else None,
+                "metrics": sorted(self.metrics) if self.metrics is not None else None,
+                "workload": self.workload,
+            },
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+
+    def query_hash(self) -> str:
+        """Stable 16-hex-digit identity of the question."""
+        return hashlib.sha256(self.canonical_json().encode()).hexdigest()[:16]
+
+    def group_key(self, record: RunRecord) -> str:
+        """The group label one record lands in (sorted ``k=v`` pairs)."""
+        params = record.param_dict()
+        axes = sorted(params) if self.by is None else sorted(self.by)
+        return ",".join(f"{axis}={params.get(axis)}" for axis in axes)
+
+    def wants(self, record: RunRecord) -> bool:
+        """True iff the record is in this query's population."""
+        return self.workload is None or record.workload == self.workload
+
+
+@dataclass
+class GroupAggregate:
+    """The mergeable summary of one group: counts, moments, fingerprints."""
+
+    key: str
+    runs: int = 0
+    failed: int = 0
+    metrics: Dict[str, Accumulator] = field(default_factory=dict)
+    fingerprints: List[str] = field(default_factory=list)
+
+    def fold(self, record: RunRecord, wanted: Optional[Tuple[str, ...]]) -> None:
+        """Fold one non-audit record in."""
+        if not record.ok:
+            self.failed += 1
+            return
+        self.runs += 1
+        if record.fingerprint and record.fingerprint not in self.fingerprints:
+            self.fingerprints.append(record.fingerprint)
+            self.fingerprints.sort()
+        for name, value in record.metrics:
+            if wanted is not None and name not in wanted:
+                continue
+            self.metrics.setdefault(name, Accumulator()).add(value)
+
+    def merge(self, other: "GroupAggregate") -> "GroupAggregate":
+        """Fold another group's summary in (returns self)."""
+        if other.key != self.key:
+            raise AnalyzeError(
+                f"cannot merge group {other.key!r} into {self.key!r}"
+            )
+        self.runs += other.runs
+        self.failed += other.failed
+        self.fingerprints = sorted(set(self.fingerprints) | set(other.fingerprints))
+        for name, acc in other.metrics.items():
+            self.metrics.setdefault(name, Accumulator()).merge(acc)
+        return self
+
+    @property
+    def fingerprint_digest(self) -> str:
+        """Stable digest of the distinct run fingerprints in the group."""
+        material = "\n".join(self.fingerprints).encode()
+        return hashlib.sha256(material).hexdigest()[:16]
+
+    def intervals(self, confidence: float = 0.95) -> Dict[str, ConfidenceInterval]:
+        """Per-metric CIs over the replicates (skips empty accumulators)."""
+        return {
+            name: confidence_interval(acc, confidence)
+            for name, acc in sorted(self.metrics.items())
+            if acc.count > 0
+        }
+
+    # -- persistence (the disk memo stores one partial per sink file) ----
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready dict; round-trips through :meth:`from_dict`."""
+        return {
+            "key": self.key,
+            "runs": self.runs,
+            "failed": self.failed,
+            "fingerprints": list(self.fingerprints),
+            "metrics": {k: acc.to_dict() for k, acc in sorted(self.metrics.items())},
+        }
+
+    @classmethod
+    def from_dict(cls, doc: Dict[str, Any]) -> "GroupAggregate":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            key=str(doc["key"]),
+            runs=int(doc["runs"]),
+            failed=int(doc["failed"]),
+            fingerprints=sorted(str(f) for f in doc.get("fingerprints", [])),
+            metrics={
+                str(k): Accumulator.from_dict(v)
+                for k, v in dict(doc.get("metrics", {})).items()
+            },
+        )
+
+
+def aggregate_records(
+    records: Sequence[RunRecord], query: GroupQuery
+) -> Dict[str, GroupAggregate]:
+    """Fold typed records into one :class:`GroupAggregate` per group."""
+    groups: Dict[str, GroupAggregate] = {}
+    for record in records:
+        if record.audit or not query.wants(record):
+            continue
+        key = query.group_key(record)
+        group = groups.get(key)
+        if group is None:
+            group = groups[key] = GroupAggregate(key=key)
+        group.fold(record, query.metrics)
+    return groups
+
+
+def merge_groups(
+    into: Dict[str, GroupAggregate], other: Dict[str, GroupAggregate]
+) -> Dict[str, GroupAggregate]:
+    """Merge one partial group dict into another (returns ``into``)."""
+    for key, group in other.items():
+        if key in into:
+            into[key].merge(group)
+        else:
+            into[key] = GroupAggregate.from_dict(group.to_dict())
+    return into

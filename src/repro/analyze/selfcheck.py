@@ -1,0 +1,354 @@
+"""Acceptance matrix for the analysis pipeline (DESIGN.md §15).
+
+Run by the ``analyze`` CI job via ``python -m repro analyze --self-check``.
+Everything here pins the subsystem's two contracts — **the math is exact
+and mergeable** and **the memo never changes an answer, only its cost**:
+
+* the combinable accumulator agrees with a single-pass computation and
+  merges associatively; t critical values are monotone; CIs contain the
+  sample mean and tighten with ``n``;
+* ingest repairs torn JSONL tails (counting them), rejects unknown
+  record schema versions with a named error, deduplicates resumed runs
+  instead of double-counting them, and surfaces audit-fingerprint
+  mismatches;
+* re-aggregating an unchanged campaign performs **zero** record
+  re-reads; growing the campaign re-reads only the new file; warm and
+  cold answers are identical;
+* regression detection fires on an injected degradation (naming the
+  exact workload and metric, under both the floor and CI-overlap rules),
+  stays quiet on a flat noisy trajectory, and — when the committed
+  ``BENCH_*.json`` artifacts are visible — passes them clean;
+* the report JSON and tables are byte-stable across repeated runs.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+import tempfile
+from typing import Any, Dict, List
+
+from ..sweep.sink import append_record
+from ..sweep.spec import SweepSpec
+from ..sweep.worker import base_record
+from .aggregate import GroupQuery, aggregate_records
+from .cache import MemoizedAggregator
+from .ingest import UnknownSchemaError, ingest_jsonl
+from .regression import analyze_trajectories, detect_regressions, write_report
+from .stats import Accumulator, confidence_interval, t_critical, z_critical
+from .tables import campaign_table, regression_table
+
+
+def _metric_value(seed: int, salt: int = 0) -> float:
+    """A deterministic fabricated metric (no simulation needed here)."""
+    return 100.0 + ((seed >> salt) % 997) / 10.0
+
+
+def _records_for(spec: SweepSpec, shard: int = 0) -> List[Dict[str, Any]]:
+    """Fabricated ok-records in the real worker record shape."""
+    records = []
+    for run in spec.expand():
+        record = base_record(run, shard=shard, attempt=1)
+        record.update(
+            {
+                "status": "ok",
+                "error": None,
+                "elapsed_s": 0.01,
+                "metrics": {
+                    "deliveries": _metric_value(run.seed),
+                    "energy": _metric_value(run.seed, salt=3),
+                },
+                "fingerprint": f"fp-{run.primary_id.replace('/', '-')}",
+            }
+        )
+        records.append(record)
+    return records
+
+
+def _spec(name: str, replicates: int = 4) -> SweepSpec:
+    return SweepSpec(
+        name=name, workload="storm", grid={"loss": [0.0, 0.1]},
+        replicates=replicates, audit_duplicates=1,
+    )
+
+
+def _write_sink(path: str, records: List[Dict[str, Any]]) -> None:
+    for record in records:
+        append_record(path, record)
+
+
+def _trajectory(values: List[float], workload: str, metric: str) -> List[Dict]:
+    """A synthetic BENCH-style trajectory, one commit per value."""
+    return [
+        {
+            "commit": f"c{i}",
+            "date": None,
+            "workloads": {workload: {metric: v, "wall_s": 1.0}},
+        }
+        for i, v in enumerate(values)
+    ]
+
+
+def self_check(verbose: bool = True) -> bool:
+    """The analysis acceptance matrix; ``True`` iff all checks pass."""
+
+    def say(msg: str) -> None:
+        if verbose:
+            print(msg)
+
+    failures: List[str] = []
+
+    def check(name: str, cond: bool) -> None:
+        mark = "ok" if cond else "FAIL"
+        say(f"  [{mark}] {name}")
+        if not cond:
+            failures.append(name)
+
+    rel = lambda a, b: math.isclose(a, b, rel_tol=1e-9, abs_tol=1e-12)  # noqa: E731
+
+    say("analyze: combinable statistics")
+    samples = [float(x * x % 83) for x in range(1, 60)]
+    single = Accumulator().add_all(samples)
+    a = Accumulator().add_all(samples[:13])
+    b = Accumulator().add_all(samples[13:40])
+    c = Accumulator().add_all(samples[40:])
+    merged = Accumulator().merge(a).merge(b).merge(c)
+    check(
+        "merged accumulator == single pass",
+        merged.count == single.count
+        and rel(merged.mean, single.mean)
+        and rel(merged.variance, single.variance)
+        and merged.min == single.min
+        and merged.max == single.max,
+    )
+    left = Accumulator().merge(Accumulator().merge(a).merge(b)).merge(c)
+    right = Accumulator().merge(a).merge(Accumulator().merge(b).merge(c))
+    check(
+        "merge is associative",
+        left.count == right.count
+        and rel(left.mean, right.mean)
+        and rel(left.m2, right.m2),
+    )
+    ts = [t_critical(df, 0.95) for df in range(1, 200)]
+    check(
+        "t critical monotone decreasing, -> z at large df",
+        all(x >= y for x, y in zip(ts, ts[1:]))
+        and ts[-1] == z_critical(0.95),
+    )
+    ci = confidence_interval(single, 0.95)
+    widths = [
+        t_critical(n - 1, 0.95) / math.sqrt(n) for n in range(2, 50)
+    ]
+    check(
+        "CI contains mean; width shrinks monotonically in n",
+        ci.lo <= single.mean <= ci.hi
+        and all(x > y for x, y in zip(widths, widths[1:])),
+    )
+
+    say("analyze: ingest validation and repair")
+    with tempfile.TemporaryDirectory() as tmp:
+        sink = os.path.join(tmp, "campaign.jsonl")
+        spec = _spec("selfcheck-a")
+        records = _records_for(spec)
+        _write_sink(sink, records)
+        report = ingest_jsonl(sink)
+        expanded = spec.expand()
+        check(
+            "typed records round-trip the sink",
+            len(report.records) == len(expanded)
+            and report.ok_records[0].param_dict() == expanded[0].params
+            and report.clean and not report.duplicates,
+        )
+
+        with open(sink, "a") as fh:
+            fh.write('{"schema": 1, "kind": "run", "run_id": "torn...')
+        torn = ingest_jsonl(sink)
+        check(
+            "torn tail repaired and counted",
+            torn.torn_lines == 1 and len(torn.records) == len(records),
+        )
+
+        bad = os.path.join(tmp, "bad.jsonl")
+        append_record(bad, {**records[0], "schema": 99})
+        try:
+            ingest_jsonl(bad)
+            schema_rejected = False
+        except UnknownSchemaError as exc:
+            schema_rejected = "99" in str(exc)
+        check("unknown schema version rejected by name", schema_rejected)
+
+        dup = os.path.join(tmp, "dup.jsonl")
+        _write_sink(dup, records + [records[0]])
+        dup_report = ingest_jsonl(dup)
+        check(
+            "duplicate run counted once and reported",
+            len(dup_report.records) == len(records)
+            and len(dup_report.duplicates) == 1
+            and dup_report.duplicates[0]["run_id"] == records[0]["run_id"]
+            and dup_report.duplicates[0]["fingerprints_agree"],
+        )
+
+        tampered = os.path.join(tmp, "tampered.jsonl")
+        bad_audit = [dict(r) for r in records]
+        for record in bad_audit:
+            if record["audit"]:
+                record["fingerprint"] = "fp-TAMPERED"
+        _write_sink(tampered, bad_audit)
+        check(
+            "audit fingerprint mismatch surfaced",
+            len(ingest_jsonl(tampered).audit_mismatches) == 1,
+        )
+
+        say("analyze: memoized aggregation")
+        query = GroupQuery(by=("loss",))
+        cache_dir = os.path.join(tmp, "memo")
+        cold = MemoizedAggregator(cache_dir=cache_dir)
+        cold_result = cold.aggregate([sink], query)
+        check(
+            "cold pass reads every record once",
+            cold.stats.misses == 1
+            and cold.stats.records_read == len(torn.records),
+        )
+        warm = MemoizedAggregator(cache_dir=cache_dir)
+        warm_result = warm.aggregate([sink], query)
+        check(
+            "unchanged campaign re-aggregates with ZERO record re-reads",
+            warm.stats.hits == 1
+            and warm.stats.misses == 0
+            and warm.stats.records_read == 0,
+        )
+        check(
+            "warm and cold answers identical",
+            {k: g.to_dict() for k, g in warm_result.groups.items()}
+            == {k: g.to_dict() for k, g in cold_result.groups.items()},
+        )
+        sink2 = os.path.join(tmp, "campaign2.jsonl")
+        records2 = _records_for(_spec("selfcheck-b", replicates=2))
+        _write_sink(sink2, records2)
+        grown = MemoizedAggregator(cache_dir=cache_dir)
+        grown_result = grown.aggregate([sink, sink2], query)
+        check(
+            "grown campaign re-reads only the new shard",
+            grown.stats.hits == 1
+            and grown.stats.misses == 1
+            and grown.stats.records_read == len(records2),
+        )
+
+        expected = {}
+        for record in ingest_jsonl(sink).records + ingest_jsonl(sink2).records:
+            if record.ok and not record.audit:
+                key = f"loss={record.param_dict()['loss']}"
+                expected.setdefault(key, []).append(
+                    record.metric_dict()["deliveries"]
+                )
+        hand = {
+            k: (len(v), sum(v) / len(v), min(v), max(v))
+            for k, v in expected.items()
+        }
+        got = {
+            k: (
+                g.metrics["deliveries"].count,
+                g.metrics["deliveries"].mean,
+                g.metrics["deliveries"].min,
+                g.metrics["deliveries"].max,
+            )
+            for k, g in grown_result.groups.items()
+        }
+        check(
+            "group-by aggregation matches hand computation",
+            set(hand) == set(got)
+            and all(
+                hand[k][0] == got[k][0]
+                and rel(hand[k][1], got[k][1])
+                and hand[k][2] == got[k][2]
+                and hand[k][3] == got[k][3]
+                for k in hand
+            ),
+        )
+        ci_table = campaign_table(grown_result)
+        check(
+            "campaign table renders every group with a CI column",
+            "ci" in ci_table.splitlines()[0]
+            and all(k in ci_table for k in hand),
+        )
+
+        say("analyze: trajectory regression detection")
+        flat = _trajectory(
+            [1000.0, 1010.0, 990.0, 1005.0, 995.0, 1002.0],
+            "medium_broadcast_storm", "deliveries_per_s",
+        )
+        check(
+            "flat noisy trajectory: no findings",
+            all(c.ok and not c.rules_violated
+                for c in detect_regressions(flat, "micro")),
+        )
+        degraded = _trajectory(
+            [1000.0, 1010.0, 990.0, 1005.0, 995.0, 500.0],
+            "medium_broadcast_storm", "deliveries_per_s",
+        )
+        found = [
+            c for c in detect_regressions(degraded, "micro") if c.rules_violated
+        ]
+        check(
+            "injected degradation flagged, naming workload and metric",
+            len(found) == 1
+            and found[0].workload == "medium_broadcast_storm"
+            and found[0].metric == "deliveries_per_s"
+            and set(found[0].rules_violated) == {"floor", "ci"}
+            and not found[0].ok,
+        )
+        watch = _trajectory(
+            [1000.0, 1010.0, 990.0, 1005.0, 995.0, 500.0],
+            "timer_storm", "timer_ops_per_s",
+        )
+        watch_checks = detect_regressions(watch, "micro")
+        check(
+            "ungated series degrades to drift, never a finding",
+            all(c.ok for c in watch_checks)
+            and any(c.rules_violated for c in watch_checks),
+        )
+
+        report1 = analyze_trajectories([("micro", degraded)])
+        path1 = os.path.join(tmp, "r1.json")
+        path2 = os.path.join(tmp, "r2.json")
+        write_report(path1, report1)
+        write_report(path2, analyze_trajectories([("micro", degraded)]))
+        with open(path1, "rb") as f1, open(path2, "rb") as f2:
+            check("report JSON byte-stable across runs", f1.read() == f2.read())
+        table = regression_table(report1)
+        check(
+            "regression table names the offending series",
+            "REGRESSION(floor,ci)" in table
+            and "medium_broadcast_storm" in table,
+        )
+        with open(path1) as fh:
+            doc = json.load(fh)
+        check(
+            "report schema: findings mirrored in machine-readable form",
+            doc["schema"] == 1 and not doc["ok"]
+            and doc["findings"][0]["workload"] == "medium_broadcast_storm",
+        )
+
+    say("analyze: committed trajectories")
+    committed = []
+    for filename, bench in (("BENCH_micro.json", "micro"), ("BENCH_e1.json", "e1")):
+        if os.path.exists(filename):
+            from .ingest import ingest_trajectory
+
+            doc = ingest_trajectory(filename, expect_bench=bench)
+            committed.append((doc.bench, doc.runs))
+    if committed:
+        real = analyze_trajectories(committed)
+        check(
+            "committed BENCH_*.json trajectories pass clean",
+            real.ok and len(real.checked) >= 4,
+        )
+    else:
+        say("  [--] committed BENCH_*.json not visible from cwd (skipped)")
+
+    if failures:
+        say(f"analyze self-check: {len(failures)} FAILURES")
+        return False
+    say("analyze self-check: all checks passed")
+    return True

@@ -71,6 +71,20 @@ SPEEDUP_TARGET = 2.0
 #: this fraction of the best recorded run (slack for machine noise).
 NO_REGRESSION_FLOOR = 0.85
 
+#: The (workload, rate-metric) pairs whose recorded trajectory is gated —
+#: the stable, machine-comparable hot paths.  Shared with
+#: :mod:`repro.analyze.regression`, which applies the same floor plus a
+#: prediction-interval rule to these series; everything else in the
+#: trajectory is recorded and reported but never gated (timer/partition
+#: speedups are gated as *ratios* measured on one machine, and the E1
+#: wall clocks are too small/noisy to compare across runner hardware).
+TRAJECTORY_GATES = (
+    ("medium_broadcast_storm", "deliveries_per_s"),
+    ("engine_event_pump", "events_per_s"),
+    ("wire_codec", "roundtrips_per_s"),
+    ("partition_storm", "serial_deliveries_per_s"),
+)
+
 
 def make_deployment(
     side: int = 8,
@@ -917,12 +931,14 @@ def _git_commit() -> str:
         return "unknown"
 
 
-def _load_runs(path: str, bench: str) -> List[Dict[str, Any]]:
+def load_trajectory(path: str, bench: str) -> List[Dict[str, Any]]:
     """Existing trajectory of ``path``; migrates schema-1 snapshots.
 
-    A schema-1 document was a single run with an optionally embedded
-    pre-change ``baseline`` block; both become trajectory entries so the
-    full history survives the migration.
+    The public read accessor of the ``BENCH_*.json`` layout (used by
+    :mod:`repro.analyze` as well as this module's own gates): a schema-1
+    document was a single run with an optionally embedded pre-change
+    ``baseline`` block; both become trajectory entries so the full
+    history survives the migration.
     """
     try:
         with open(path) as fh:
@@ -959,18 +975,40 @@ def _load_runs(path: str, bench: str) -> List[Dict[str, Any]]:
     return runs
 
 
+#: Backward-compatible alias of the pre-public accessor name.
+_load_runs = load_trajectory
+
+
+def trajectory_series(
+    runs: Sequence[Dict[str, Any]], workload: str, key: str
+) -> List[Dict[str, Any]]:
+    """The recorded ``(commit, date, value)`` series of one workload metric.
+
+    Schema accessor for dict-valued workload rows (the micro suite);
+    entries missing the workload or the metric are skipped, so a series
+    starts at the commit that introduced the workload.
+    """
+    series: List[Dict[str, Any]] = []
+    for run in runs:
+        row = run.get("workloads", {}).get(workload, {})
+        value = row.get(key) if isinstance(row, dict) else None
+        if isinstance(value, (int, float)) and not isinstance(value, bool):
+            series.append(
+                {
+                    "commit": run.get("commit", "unknown"),
+                    "date": run.get("date"),
+                    "value": float(value),
+                }
+            )
+    return series
+
+
 def _best_recorded(
     runs: Sequence[Dict[str, Any]], workload: str, key: str
 ) -> Optional[float]:
     """Best value of ``workloads[workload][key]`` across recorded runs."""
-    best: Optional[float] = None
-    for run in runs:
-        value = run.get("workloads", {}).get(workload, {})
-        if isinstance(value, dict):
-            value = value.get(key)
-        if isinstance(value, (int, float)) and (best is None or value > best):
-            best = float(value)
-    return best
+    values = [point["value"] for point in trajectory_series(runs, workload, key)]
+    return max(values) if values else None
 
 
 def _gate(
@@ -995,12 +1033,7 @@ def _gate(
         / micro["lossy_jittered_storm_legacy_fanout"]["deliveries_per_s"]
     )
     regressions: Dict[str, float] = {}
-    for workload, key in (
-        ("medium_broadcast_storm", "deliveries_per_s"),
-        ("engine_event_pump", "events_per_s"),
-        ("wire_codec", "roundtrips_per_s"),
-        ("partition_storm", "serial_deliveries_per_s"),
-    ):
+    for workload, key in TRAJECTORY_GATES:
         if workload not in micro:
             continue
         best = _best_recorded(prior_runs, workload, key)
@@ -1105,7 +1138,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
               f" procs={row.get('partition_procs', 1)}:"
               f" wall={row['wall_s']:.4f}s fp={row['fingerprint']}")
 
-    micro_runs = _load_runs(f"{args.out_dir}/BENCH_micro.json", "micro")
+    micro_runs = load_trajectory(f"{args.out_dir}/BENCH_micro.json", "micro")
     gates = _gate(micro, micro_runs)
     print(f"timer wheel vs legacy handles: "
           f"{gates['timer_speedup_vs_legacy_handles']:.2f}x")
@@ -1170,7 +1203,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     micro_runs.append(run_entry)
     micro_doc = {"bench": "micro", "schema": SCHEMA, "runs": micro_runs}
 
-    e1_runs = _load_runs(f"{args.out_dir}/BENCH_e1.json", "e1")
+    e1_runs = load_trajectory(f"{args.out_dir}/BENCH_e1.json", "e1")
     e1_runs = [r for r in e1_runs if r.get("commit") != commit]
     e1_runs.append({"commit": commit, "date": today, "workloads": e1})
     e1_doc = {"bench": "e1", "schema": SCHEMA, "runs": e1_runs}

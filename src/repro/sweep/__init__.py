@@ -36,6 +36,7 @@ from .sink import (
     append_record,
     audit_determinism,
     completed_ok_ids,
+    iter_records,
     load_records,
 )
 from .spec import RunSpec, SweepSpec, derive_seed
@@ -63,6 +64,7 @@ __all__ = [
     "execute_run",
     "failure_record",
     "get_workload",
+    "iter_records",
     "load_records",
     "make_entry",
     "point_key",

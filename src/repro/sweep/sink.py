@@ -18,7 +18,7 @@ from __future__ import annotations
 import json
 import os
 from dataclasses import dataclass, field
-from typing import IO, Any, Dict, List, Optional, Set
+from typing import IO, Any, Callable, Dict, Iterator, List, Optional, Set
 
 from .spec import AUDIT_SUFFIX
 
@@ -50,27 +50,41 @@ def append_record(path_or_fh: "str | IO[str]", record: Dict[str, Any]) -> None:
         path_or_fh.flush()
 
 
-def load_records(path: str) -> List[Dict[str, Any]]:
-    """All intact records of a sink file (empty if missing).
+def iter_records(
+    path: str, on_torn: Optional[Callable[[int, str], None]] = None
+) -> Iterator[Dict[str, Any]]:
+    """Stream the intact records of a sink file (nothing if missing).
 
-    Torn lines are skipped, not fatal: a killed writer leaves a truncated
-    tail, and a later resumed sweep legitimately appends complete records
-    *after* it.  Completeness is judged by run ids against the spec, never
-    by line count, so dropping an unparseable line can only cause a run to
-    be re-executed — exactly the safe direction.
+    The read half of the sink's durability contract, exported for the
+    :mod:`repro.analyze` ingest layer: torn lines (a killed writer's
+    truncated tail) are skipped, not fatal, and each one is reported to
+    ``on_torn(line_number, line)`` so callers can account for the repair
+    instead of silently absorbing it.  Completeness is judged by run ids
+    against the spec, never by line count, so dropping an unparseable
+    line can only cause a run to be re-executed — exactly the safe
+    direction.
     """
     if not os.path.exists(path):
-        return []
-    records: List[Dict[str, Any]] = []
+        return
     with open(path) as fh:
-        for line in fh:
+        for lineno, line in enumerate(fh, start=1):
             if not line.strip():
                 continue
             try:
-                records.append(json.loads(line))
+                yield json.loads(line)
             except json.JSONDecodeError:
-                continue  # torn write from a killed orchestrator
-    return records
+                # torn write from a killed orchestrator
+                if on_torn is not None:
+                    on_torn(lineno, line)
+
+
+def load_records(path: str) -> List[Dict[str, Any]]:
+    """All intact records of a sink file (empty if missing).
+
+    Materialized :func:`iter_records` with torn-tail lines silently
+    repaired — the resume path's historical interface.
+    """
+    return list(iter_records(path))
 
 
 def completed_ok_ids(records: List[Dict[str, Any]], spec_hash: Optional[str] = None) -> Set[str]:

@@ -59,6 +59,7 @@ class TestReadme:
 class TestPublicApiHygiene:
     PACKAGES = [
         "repro",
+        "repro.analyze",
         "repro.core",
         "repro.apps",
         "repro.deployment",
@@ -98,6 +99,23 @@ class TestPublicApiHygiene:
                 obj = getattr(mod, name)
                 if inspect.isclass(obj) or inspect.isfunction(obj):
                     assert obj.__doc__, f"{package}.{name} lacks a docstring"
+
+
+class TestAnalyzeDocs:
+    def test_analyze_documented_everywhere(self):
+        """The analytics pipeline is documented in all three doc files."""
+        design = (REPO / "DESIGN.md").read_text()
+        assert "## 15. Campaign analytics (`repro.analyze`)" in design
+        for name in ("README.md", "EXPERIMENTS.md"):
+            text = (REPO / name).read_text()
+            assert "python -m repro analyze" in text, name
+
+    def test_golden_fixture_regen_hint_is_accurate(self):
+        """DESIGN.md's regen command points at a real entry point."""
+        design = (REPO / "DESIGN.md").read_text()
+        assert "python tests/test_analyze_golden.py --regen" in design
+        golden = (REPO / "tests" / "test_analyze_golden.py").read_text()
+        assert '"--regen"' in golden
 
 
 class TestReadmeSnippets:
