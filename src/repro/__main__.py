@@ -106,6 +106,7 @@ def _serve_demo(args: list[str]) -> int:
             f"t={batch.admitted_at:.1f}, {batch.transmissions} tx, "
             f"{hits} cache hits, energy {batch.energy:.1f}"
         )
+    counts = report.outcome_counts()
     print(
         f"served {report.queries} queries "
         f"({report.complete_queries} complete) over "
@@ -113,6 +114,8 @@ def _serve_demo(args: list[str]) -> int:
         f"{report.cache_hit_rate:.2f}, {report.transmissions} tx, "
         f"energy {report.energy:.1f}"
     )
+    print("outcomes             : "
+          + ", ".join(f"{name}={counts[name]}" for name in sorted(counts)))
     print(f"engine fingerprint   : {engine.fingerprint()}")
     return 0 if report.complete_queries == report.queries else 1
 

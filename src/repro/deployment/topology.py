@@ -194,6 +194,24 @@ class RealNetwork:
             self._members_cache[cell] = view
         return view
 
+    def intra_cell_links(
+        self, node_id: int, alive_only: bool = True
+    ) -> Tuple[Tuple[int, int], ...]:
+        """The node's links that stay inside its own cell, sorted.
+
+        These are the links whose loss cuts the node off from the very
+        peers that could detect its failure and take over its role — the
+        set a partition fault plan severs to stress in-cell failover
+        (:mod:`repro.serve.chaos`) — and the complement of the
+        inter-cell links the grid emulation routes over.
+        """
+        cell = self.cell_of(node_id)
+        return tuple(
+            (node_id, nbr)
+            for nbr in self.neighbors(node_id, alive_only=alive_only)
+            if self.cell_of(nbr) == cell
+        )
+
     # -- mobility (repro.scenario) -------------------------------------------------
 
     def move_node(self, node_id: int, position: Point) -> Tuple[GridCoord, GridCoord]:

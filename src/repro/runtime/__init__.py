@@ -24,6 +24,7 @@ from .faults import (
     FaultPlan,
     FaultReport,
     HealingConfig,
+    plan_chaos,
     plan_leader_storm,
 )
 from .maintenance import (
@@ -103,6 +104,7 @@ __all__ = [
     "next_direction",
     "oracle_binding",
     "oracle_reachable_directions",
+    "plan_chaos",
     "plan_leader_storm",
     "recover",
     "register_payload_codec",

@@ -182,6 +182,65 @@ def plan_leader_storm(
     return FaultPlan(events=tuple(events))
 
 
+def plan_chaos(
+    cells: Sequence[GridCoord],
+    links: Sequence[Tuple[int, int]] = (),
+    kills: int = 1,
+    at: float = 0.5,
+    spacing: float = 1.0,
+    corrupt_frames: int = 0,
+    partition_at: Optional[float] = None,
+    restore_at: Optional[float] = None,
+    seed: int = 0,
+) -> FaultPlan:
+    """A seeded mixed chaos schedule: kills + partition + corruption.
+
+    The resilience-soak counterpart of :func:`plan_leader_storm`: kills
+    ``kills`` distinct cell leaders (victims drawn without replacement
+    from ``sorted(cells)`` with ``np.random.default_rng(seed)``) at
+    ``at, at + spacing, ...``; optionally severs ``links`` at
+    ``partition_at`` and heals them at ``restore_at``; optionally
+    corrupts the first ``corrupt_frames`` transport frames.  A pure
+    function of its arguments, so chaos campaigns replay byte-identically.
+    """
+    if kills < 0:
+        raise ValueError(f"kills must be >= 0, got {kills}")
+    ordered = sorted(set(cells))
+    if kills > len(ordered):
+        raise ValueError(f"cannot kill {kills} leaders out of {len(ordered)} cells")
+    if partition_at is not None and not links:
+        raise ValueError("partition_at requires a non-empty links=")
+    if restore_at is not None and partition_at is None:
+        raise ValueError("restore_at requires partition_at=")
+    if restore_at is not None and restore_at <= partition_at:
+        raise ValueError(
+            f"restore_at must be > partition_at, "
+            f"got {restore_at} <= {partition_at}"
+        )
+    events = []
+    if kills:
+        rng = np.random.default_rng(seed)
+        victims = [
+            ordered[i] for i in rng.choice(len(ordered), size=kills, replace=False)
+        ]
+        events.extend(
+            FaultEvent(time=at + i * spacing, action="kill_leader", cell=cell)
+            for i, cell in enumerate(victims)
+        )
+    if partition_at is not None:
+        pairs = tuple((int(a), int(b)) for a, b in links)
+        events.append(
+            FaultEvent(time=partition_at, action="partition_links", links=pairs)
+        )
+        if restore_at is not None:
+            events.append(FaultEvent(time=restore_at, action="restore"))
+    if corrupt_frames > 0:
+        events.append(
+            FaultEvent(time=0.0, action="corrupt_frame", count=corrupt_frames)
+        )
+    return FaultPlan(events=tuple(events))
+
+
 @dataclass
 class HealingConfig:
     """Parameters of the online self-healing machinery.

@@ -12,19 +12,36 @@ workload of grid-cell query serving:
   serving timeline;
 * the admission layer (:mod:`repro.serve.admission`) turns a
   seed-deterministic concurrent arrival stream into protocol rounds,
-  batching co-arriving queries into one radio phase;
+  batching co-arriving queries into one radio phase, with per-tenant
+  token buckets that deterministically *shed* or *defer* overload
+  (:class:`~repro.serve.admission.TenantPolicy`);
 * querier leaders cache collected aggregates keyed by a per-cell
   freshness epoch, with incremental invalidation when fields change
   (:meth:`~repro.serve.engine.QueryEngine.update_field`) or when faults
   from the PR 5 :class:`~repro.runtime.faults.FaultPlan` machinery dirty
-  a cell — warm queries answer without touching the radio.
+  a cell — warm queries answer without touching the radio, and tenants
+  may trade bounded staleness (``max_staleness`` epochs) for silence;
+* the resilience layer (DESIGN.md §16) guarantees every admitted query
+  terminates with exactly one named outcome (``ok`` / ``partial`` /
+  ``shed`` / ``deadline_expired``): deadline-bound queries retry missing
+  cells under seeded backoff then disclose what they have, and with
+  ``healing`` configured the engine keeps serving across leader failover
+  (:mod:`repro.serve.chaos` is the acceptance campaign).
 
 ``python -m repro serve --self-check`` runs the CI acceptance matrix
 (:mod:`repro.serve.selfcheck`).
 """
 
-from .admission import Arrival, batch_rounds, synthesize_arrivals
+from .admission import (
+    AdmissionController,
+    Arrival,
+    TenantPolicy,
+    batch_rounds,
+    synthesize_arrivals,
+)
+from .chaos import ChaosSoakResult, chaos_soak
 from .engine import (
+    OUTCOMES,
     BatchResult,
     EngineStats,
     QueryCall,
@@ -36,15 +53,20 @@ from .engine import (
 from .selfcheck import self_check
 
 __all__ = [
+    "AdmissionController",
     "Arrival",
     "BatchResult",
+    "ChaosSoakResult",
     "EngineStats",
+    "OUTCOMES",
     "QueryCall",
     "QueryEngine",
     "QueryOutcome",
     "ServeConfig",
     "ServeReport",
+    "TenantPolicy",
     "batch_rounds",
+    "chaos_soak",
     "self_check",
     "synthesize_arrivals",
 ]

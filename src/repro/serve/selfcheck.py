@@ -1,11 +1,17 @@
 """CI acceptance matrix for the serving engine.
 
-Run by the ``serve`` CI job via ``python -m repro serve --self-check``:
-builds one small deployment, then asserts the engine's core contracts —
-wrapper/engine answer agreement, warm-cache queries touching zero radio,
-incremental (single-cell) invalidation, completeness reporting under
-loss, and byte-identical fingerprints across repeat runs and across the
-wire codec being on or off.
+Run by the ``serve`` and ``serve-resilience`` CI jobs via ``python -m
+repro serve --self-check``: builds one small deployment, then asserts
+the engine's core contracts — wrapper/engine answer agreement,
+warm-cache queries touching zero radio, incremental (single-cell)
+invalidation, completeness reporting under loss, and byte-identical
+fingerprints across repeat runs and across the wire codec being on or
+off — plus the DESIGN.md §16 resilience contracts: construction-time
+validation, token-bucket overload shedding/deferral, deadline + seeded
+retry termination, per-tenant staleness serving, fault-then-recover
+serving continuity against a fresh-engine oracle, and the chaos soak
+(liveness invariant + fingerprint invariance across wire on/off and
+serial vs partitioned gather).
 """
 
 from __future__ import annotations
@@ -14,8 +20,15 @@ from typing import List, Tuple
 
 import numpy as np
 
-from .admission import synthesize_arrivals
-from .engine import QueryEngine, ServeConfig
+from .admission import Arrival, TenantPolicy, synthesize_arrivals
+from .engine import (
+    OUTCOME_EXPIRED,
+    OUTCOME_OK,
+    OUTCOME_SHED,
+    OUTCOMES,
+    QueryEngine,
+    ServeConfig,
+)
 
 
 def _build_stack(side: int = 4, seed: int = 7):
@@ -127,6 +140,149 @@ def self_check(verbose: bool = True) -> bool:
     )
     recovered = reliable.query(query_cell, reduce_fn=len)
     check("reliable transport restores completeness", recovered.complete)
+
+    say("serve: construction-time validation")
+
+    def raises(thunk) -> bool:
+        try:
+            thunk()
+        except ValueError:
+            return True
+        return False
+
+    check("arrival rejects negative tenant",
+          raises(lambda: Arrival(time=0.0, query_cell=(0, 0), tenant=-1)))
+    check("arrival rejects empty cells tuple",
+          raises(lambda: Arrival(time=0.0, query_cell=(0, 0), cells=())))
+    check("config rejects ack_timeout <= 0",
+          raises(lambda: ServeConfig(ack_timeout=0.0)))
+    check("config rejects staleness without cache",
+          raises(lambda: ServeConfig(
+              cache=False, tenant_policies={0: TenantPolicy(max_staleness=1)}
+          )))
+    check("policy rejects unknown overload",
+          raises(lambda: TenantPolicy(budget=1.0, overload="panic")))
+
+    say("serve: overload control (token buckets: shed vs defer)")
+    policies = {
+        7: TenantPolicy(budget=1.0, overload="shed"),
+        8: TenantPolicy(budget=1.0, overload="defer", max_defer_rounds=4),
+    }
+    throttled = QueryEngine(stack, storage, ServeConfig(tenant_policies=policies))
+    burst = [
+        Arrival(time=0.1 * (i + 1), query_cell=query_cell, tenant=tenant)
+        for tenant in (7, 8)
+        for i in range(3)
+    ]
+    overloaded = throttled.serve(burst, round_interval=1.0, reduce_fn=len)
+    counts = overloaded.outcome_counts()
+    tenants = overloaded.per_tenant()
+    check("every query terminates with a named outcome",
+          sum(counts.values()) == len(burst) and set(counts) == set(OUTCOMES))
+    check("shed tenant sheds overload", tenants[7][OUTCOME_SHED] == 2)
+    check("defer tenant eventually serves everything",
+          tenants[8][OUTCOME_OK] == 3 and tenants[8]["deferred_rounds"] > 0)
+    check("engine counts shed and deferred",
+          throttled.stats.shed == 2 and throttled.stats.deferred > 0)
+
+    say("serve: deadlines + seeded retry (terminate, never hang)")
+    deadline_eng = QueryEngine(
+        stack,
+        storage,
+        ServeConfig(
+            loss_rate=0.5,
+            rng=np.random.default_rng(4),
+            cache=False,
+            deadline=8.0,
+            query_retries=3,
+            retry_base=1.0,
+        ),
+    )
+    bounded = [deadline_eng.query(query_cell, reduce_fn=len) for _ in range(4)]
+    check("deadline-bound queries all terminate named",
+          all(o.outcome in OUTCOMES for o in bounded)
+          and not deadline_eng._active)
+    check("lossy deadline run actually retried", deadline_eng.stats.retries > 0)
+    # single nearby target: each attempt has a real chance end to end, so
+    # the seeded schedule recovers completeness inside the deadline
+    near = QueryEngine(
+        stack,
+        storage,
+        ServeConfig(
+            loss_rate=0.3,
+            rng=np.random.default_rng(4),
+            cache=False,
+            deadline=10.0,
+            query_retries=4,
+            retry_base=1.0,
+        ),
+    )
+    near_cell = sorted(storage)[-1]  # the storage cell adjacent to the querier
+    singles = [
+        near.query(query_cell, cells=[near_cell], reduce_fn=len) for _ in range(6)
+    ]
+    check("retries recover completeness within deadline",
+          any(o.complete and o.retries > 0 for o in singles))
+
+    say("serve: per-tenant staleness contracts")
+    lax = QueryEngine(
+        stack, storage, ServeConfig(tenant_policies={5: TenantPolicy(max_staleness=5)})
+    )
+    fresh = lax.query(query_cell, tenant=5, reduce_fn=sum)
+    stale_cell = next(c for c in lax.storage_cells if c != query_cell)
+    lax.update_field(stale_cell, 1000)  # epoch bump: caches go stale
+    tx_stale = lax.medium.stats.transmissions
+    stale = lax.query(query_cell, tenant=5, reduce_fn=sum)
+    check("lenient tenant served stale from cache",
+          stale.staleness == 1 and stale.value == fresh.value)
+    check("stale hit is radio-silent",
+          lax.medium.stats.transmissions == tx_stale)
+    strict = lax.query(query_cell, tenant=0, reduce_fn=sum)
+    check("strict tenant forces refresh",
+          strict.cache_misses == 1 and strict.staleness == 0)
+    check("refreshed value reflects the update", strict.value != stale.value)
+
+    say("serve: fault-then-recover serving continuity")
+    from ..runtime.faults import FaultEvent, FaultPlan, HealingConfig
+    from .chaos import build_serving_stack, chaos_soak
+
+    rec_stack, rec_storage = build_serving_stack(seed=9)
+    healing = HealingConfig(heartbeat_interval=1.0, miss_threshold=2)
+    living = QueryEngine(
+        rec_stack, rec_storage,
+        ServeConfig(healing=healing, healing_headroom=8.0),
+    )
+    probe_cell = sorted(rec_storage)[0]
+    victim = sorted(rec_storage)[-1]
+    cold = living.query(probe_cell, reduce_fn=sum)
+    living.arm_faults(FaultPlan((
+        FaultEvent(time=0.5, action="kill_leader", cell=victim),
+    )))
+    living.tick()  # kill fires; heartbeat loss detected; cell fails over
+    after = living.query(probe_cell, reduce_fn=sum)
+    check("failover happened inside the engine",
+          living._fault_report is not None
+          and len(living._fault_report.failovers) >= 1)
+    check("engine keeps serving complete answers after failover",
+          after.complete and after.value == cold.value)
+    check("only the dirtied cell re-fetches after failover",
+          after.cache_misses == 1 and after.missing_cells == [])
+    oracle = QueryEngine(rec_stack, rec_storage).query(probe_cell, reduce_fn=sum)
+    check("post-failover answers match a fresh-engine oracle",
+          after.value == oracle.value)
+
+    say("serve: chaos soak (liveness + fingerprint invariance)")
+    soak = chaos_soak()
+    check("chaos soak liveness invariant holds", soak.liveness_ok)
+    check("chaos soak exercised shed/expired/failover",
+          soak.shed > 0 and soak.expired > 0 and soak.failovers > 0)
+    check("chaos soak keeps serving after the storm", soak.probe_complete)
+    check("chaos soak reproduces byte-identically",
+          chaos_soak().fingerprint == soak.fingerprint)
+    check("chaos soak invariant wire on/off",
+          chaos_soak(wire=True).fingerprint == soak.fingerprint)
+    check("chaos soak invariant serial vs partitioned",
+          chaos_soak(partitions=4).fingerprint == soak.fingerprint)
 
     if failures:
         say(f"serve self-check: {len(failures)} FAILURES")

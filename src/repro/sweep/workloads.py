@@ -400,8 +400,18 @@ def query_serving(params: Dict[str, Any], seed: int) -> WorkloadOutcome:
     cache's incremental-invalidation regime, not just all-hit/all-miss.
     The fingerprint folds the engine's full serving history, making
     serial-vs-sharded and wire-on/off equivalence checkable.
+
+    Resilience axes (all default off, preserving legacy fingerprints):
+    ``deadline`` bounds every query in virtual time with seeded retries,
+    ``tenant_budget`` throttles each tenant's token bucket (with
+    ``overload`` choosing shed vs defer), ``max_staleness`` lets tenants
+    accept that many epochs of cache lag, and ``kill_leaders`` > 0 arms a
+    mid-stream leader-kill chaos plan with healing so the sweep covers
+    the degraded serving regime.  Outcome-taxonomy counts (DESIGN.md §16)
+    are always emitted so analyze ingests shed/expired queries as named
+    outcomes, never as failures.
     """
-    from ..serve import QueryEngine, ServeConfig, synthesize_arrivals
+    from ..serve import QueryEngine, ServeConfig, TenantPolicy, synthesize_arrivals
 
     side = int(params.get("side", 4))
     n_random = int(params.get("n_random", side * side * 8))
@@ -414,12 +424,27 @@ def query_serving(params: Dict[str, Any], seed: int) -> WorkloadOutcome:
     cache = bool(params.get("cache", True))
     mean_interarrival = float(params.get("mean_interarrival", 1.0))
     round_interval = float(params.get("round_interval", 2.0))
+    deadline = float(params.get("deadline", 0.0)) or None
+    tenant_budget = float(params.get("tenant_budget", 0.0)) or None
+    max_staleness = int(params.get("max_staleness", 0))
+    overload = str(params.get("overload", "shed"))
+    kill_leaders = int(params.get("kill_leaders", 0))
     net = _make_deployment(side, n_random, seed)
     stack = deploy(net)
     va = VirtualArchitecture(side)
     gather = stack.run_application(
         va.synthesize(CountAggregation(lambda c: True), max_level=1)
     )
+    default_policy = None
+    if tenant_budget is not None or max_staleness > 0:
+        default_policy = TenantPolicy(
+            budget=tenant_budget, overload=overload, max_staleness=max_staleness
+        )
+    healing = None
+    if kill_leaders > 0:
+        from ..runtime.faults import HealingConfig
+
+        healing = HealingConfig(heartbeat_interval=1.0, miss_threshold=2)
     engine = QueryEngine(
         stack,
         storage=dict(gather.exfiltrated),
@@ -429,8 +454,19 @@ def query_serving(params: Dict[str, Any], seed: int) -> WorkloadOutcome:
             reliable=reliable,
             wire_format=wire,
             cache=cache,
+            deadline=deadline,
+            default_policy=default_policy,
+            healing=healing,
         ),
     )
+    plan = None
+    if kill_leaders > 0:
+        from ..runtime.faults import plan_leader_storm
+
+        plan = plan_leader_storm(
+            sorted(engine.storage_cells), kills=kill_leaders, at=0.5, seed=seed
+        )
+        fault_report = engine.arm_faults(plan)
     arrivals = synthesize_arrivals(
         sorted(stack.binding.leaders),
         n_queries,
@@ -449,26 +485,41 @@ def query_serving(params: Dict[str, Any], seed: int) -> WorkloadOutcome:
     hits = sum(o.cache_hits for o in outcomes)
     misses = sum(o.cache_misses for o in outcomes)
     queries = len(outcomes)
-    return WorkloadOutcome(
-        metrics={
-            "queries": float(queries),
-            "complete_queries": float(
-                first.complete_queries + second.complete_queries
-            ),
-            "rounds": float(len(first.batches) + len(second.batches)),
-            "cache_hits": float(hits),
-            "cache_misses": float(misses),
-            "cache_hit_rate": hits / (hits + misses) if hits + misses else 0.0,
-            "transmissions": float(first.transmissions + second.transmissions),
-            "energy": first.energy + second.energy,
-            "misdirected": float(engine.stats.misdirected),
-            "events_processed": float(engine.sim.events_processed),
-            "wall_s": wall,
-            "queries_per_s": queries / wall if wall > 0 else 0.0,
-        },
-        fingerprint=stable_digest(
-            (engine.fingerprint(), first.fingerprint(), second.fingerprint())
+    counts: Dict[str, int] = {}
+    for report in (first, second):
+        for name, n in report.outcome_counts().items():
+            counts[name] = counts.get(name, 0) + n
+    metrics = {
+        "queries": float(queries),
+        "complete_queries": float(
+            first.complete_queries + second.complete_queries
         ),
+        "ok_queries": float(counts.get("ok", 0)),
+        "partial_queries": float(counts.get("partial", 0)),
+        "shed_queries": float(counts.get("shed", 0)),
+        "expired_queries": float(counts.get("deadline_expired", 0)),
+        "deferred": float(engine.stats.deferred),
+        "retries": float(engine.stats.retries),
+        "late_responses": float(engine.stats.late_responses),
+        "stale_hits": float(engine.stats.stale_hits),
+        "rounds": float(len(first.batches) + len(second.batches)),
+        "cache_hits": float(hits),
+        "cache_misses": float(misses),
+        "cache_hit_rate": hits / (hits + misses) if hits + misses else 0.0,
+        "transmissions": float(first.transmissions + second.transmissions),
+        "energy": first.energy + second.energy,
+        "misdirected": float(engine.stats.misdirected),
+        "events_processed": float(engine.sim.events_processed),
+        "wall_s": wall,
+        "queries_per_s": queries / wall if wall > 0 else 0.0,
+    }
+    fp_parts = [engine.fingerprint(), first.fingerprint(), second.fingerprint()]
+    if plan is not None:
+        metrics["failovers"] = float(len(fault_report.failovers))
+        fp_parts.extend([plan.fingerprint(), fault_report.fingerprint()])
+    return WorkloadOutcome(
+        metrics=metrics,
+        fingerprint=stable_digest(tuple(fp_parts)),
     )
 
 

@@ -113,6 +113,30 @@ class TestCells:
         # the full (alive_only=False) view never changes
         assert victim in net.members_of_cell(cell, alive_only=False)
 
+    def test_intra_cell_links_match_bruteforce_and_track_liveness(self):
+        net = make_deployment(side=4)
+        nid = next(
+            n for n in net.node_ids()
+            if any(net.cell_of(m) == net.cell_of(n) for m in net.neighbors(n))
+        )
+        links = net.intra_cell_links(nid)
+        cell = net.cell_of(nid)
+        assert links == tuple(
+            (nid, m) for m in net.neighbors(nid) if net.cell_of(m) == cell
+        )
+        assert links  # chosen to have at least one in-cell neighbor
+        # severing every returned link isolates the node from its cell
+        peers = {m for _, m in links}
+        assert peers <= set(net.members_of_cell(cell))
+        # a dead peer drops out of the alive view, stays in the full one
+        victim = links[0][1]
+        net.node(victim).kill()
+        assert victim not in {m for _, m in net.intra_cell_links(nid)}
+        assert victim in {
+            m for _, m in net.intra_cell_links(nid, alive_only=False)
+        }
+        net.node(victim).revive(energy=1.0)
+
 
 class TestConnectivity:
     def test_connected_deployment(self):
